@@ -1,0 +1,68 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp fig9          # one experiment
+//	experiments -exp all           # everything, paper order
+//	experiments -exp all -quick    # reduced inputs (fast smoke pass)
+//	experiments -list              # registry
+//
+// Each experiment prints a text table followed by the paper's reported
+// numbers for comparison; EXPERIMENTS.md archives a full run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"warpsched/internal/exp"
+)
+
+func main() {
+	var (
+		name    = flag.String("exp", "all", "experiment name or 'all'")
+		quick   = flag.Bool("quick", false, "use reduced kernel sizes")
+		sms     = flag.Int("sms", 0, "override simulated SM count (0 = experiment default)")
+		verbose = flag.Bool("v", false, "print per-run progress")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-11s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	cfg := exp.Cfg{SMs: *sms, Quick: *quick}
+	if *verbose {
+		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  ..", line) }
+	}
+
+	var todo []exp.Experiment
+	if *name == "all" {
+		todo = exp.All()
+	} else {
+		e, err := exp.ByName(*name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		todo = []exp.Experiment{e}
+	}
+
+	for _, e := range todo {
+		fmt.Printf("==== %s: %s ====\n", e.Name, e.Title)
+		t0 := time.Now()
+		res, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+		fmt.Printf("(%s completed in %v)\n\n", e.Name, time.Since(t0).Round(time.Millisecond))
+	}
+}

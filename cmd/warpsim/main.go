@@ -1,0 +1,151 @@
+// Command warpsim runs one benchmark kernel on the simulator and prints a
+// statistics report.
+//
+// Usage:
+//
+//	warpsim -kernel HT -sched GTO -bows ddos -gpu fermi -sms 4
+//
+// warpsim -list prints the available kernels.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"warpsched"
+)
+
+func main() {
+	var (
+		kernel  = flag.String("kernel", "HT", "kernel name (see -list)")
+		sched   = flag.String("sched", "GTO", "baseline scheduler: LRR, GTO or CAWA")
+		bows    = flag.String("bows", "off", "BOWS mode: off, ddos or static")
+		delay   = flag.Int64("delay", -1, "fixed back-off delay limit in cycles (-1 = adaptive)")
+		gpu     = flag.String("gpu", "fermi", "GPU configuration: fermi (GTX480) or pascal (GTX1080Ti)")
+		sms     = flag.Int("sms", 0, "scale the machine down to this many SMs (0 = full)")
+		hash    = flag.String("hash", "XOR", "DDOS hashing function: XOR or MODULO")
+		listing = flag.Bool("asm", false, "print the kernel's assembly listing before running")
+		profile = flag.Bool("profile", false, "print a per-PC issue-count heatmap after running")
+		traceN  = flag.Int("trace", 0, "print the last N pipeline events (issues, SIBs, back-off exits)")
+		list    = flag.Bool("list", false, "list available kernels and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		names := warpsched.KernelNames()
+		sort.Strings(names)
+		for _, n := range names {
+			k, _ := warpsched.Kernel(n)
+			fmt.Printf("%-8s %s\n", n, k.Desc)
+		}
+		return
+	}
+
+	k, err := warpsched.Kernel(*kernel)
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := warpsched.DefaultOptions()
+	switch strings.ToLower(*gpu) {
+	case "fermi", "gtx480":
+		opt.GPU = warpsched.GTX480()
+	case "pascal", "gtx1080ti":
+		opt.GPU = warpsched.GTX1080Ti()
+	default:
+		fatal(fmt.Errorf("unknown GPU %q", *gpu))
+	}
+	if *sms > 0 {
+		opt.GPU = opt.GPU.Scaled(*sms)
+	}
+	opt.Sched = warpsched.SchedulerKind(strings.ToUpper(*sched))
+	switch strings.ToLower(*bows) {
+	case "off":
+		opt.BOWS.Mode = warpsched.BOWSOff
+	case "ddos":
+		opt.BOWS = warpsched.DefaultBOWS()
+	case "static":
+		opt.BOWS = warpsched.DefaultBOWS()
+		opt.BOWS.Mode = warpsched.BOWSStatic
+	default:
+		fatal(fmt.Errorf("unknown BOWS mode %q", *bows))
+	}
+	if *delay >= 0 && opt.BOWS.Mode != warpsched.BOWSOff {
+		mode := opt.BOWS.Mode
+		opt.BOWS = warpsched.FixedBOWS(*delay)
+		opt.BOWS.Mode = mode
+	}
+	if strings.EqualFold(*hash, "modulo") {
+		opt.DDOS.Hash = "MODULO"
+	}
+
+	if *listing {
+		fmt.Println(k.Launch.Prog.Listing())
+	}
+	opt.Profile = *profile
+	var ring *warpsched.TraceRing
+	if *traceN > 0 {
+		ring = warpsched.NewTraceRing(*traceN)
+		opt.Tracer = ring
+	}
+
+	res, err := warpsched.Run(opt, k)
+	if err != nil {
+		fatal(err)
+	}
+	s := &res.Stats
+	fmt.Printf("kernel           %s — %s\n", k.Name, k.Desc)
+	fmt.Printf("machine          %s, %s scheduler, BOWS=%s\n", opt.GPU.Name, opt.Sched, opt.BOWS.Mode)
+	fmt.Printf("cycles           %d (%.3f ms at %d MHz)\n", s.Cycles,
+		float64(s.Cycles)/(float64(opt.GPU.CoreClockMHz)*1000), opt.GPU.CoreClockMHz)
+	fmt.Printf("warp instrs      %d  (thread instrs %d, %.1f%% sync overhead)\n",
+		s.WarpInstrs, s.ThreadInstrs, 100*s.SyncInstrFraction())
+	fmt.Printf("SIMD efficiency  %.1f%%\n", 100*s.SIMDEfficiency())
+	fmt.Printf("memory           %d transactions (%.1f%% sync), L1 %d/%d hits, L2 %d/%d hits, DRAM %d, atomics %d\n",
+		s.Mem.Transactions, 100*s.SyncMemFraction(),
+		s.Mem.L1Hits, s.Mem.L1Accesses, s.Mem.L2Hits, s.Mem.L2Accesses,
+		s.Mem.DRAMAccesses, s.Mem.AtomicOps)
+	fmt.Printf("locks            %d acquired, %d inter-warp fails, %d intra-warp fails; wait exits %d ok / %d fail\n",
+		s.Sync.LockSuccess, s.Sync.InterWarpFail, s.Sync.IntraWarpFail,
+		s.Sync.WaitExitSuccess, s.Sync.WaitExitFail)
+	if opt.BOWS.Mode != warpsched.BOWSOff {
+		fmt.Printf("BOWS             backed-off warp share %.1f%%, final delay limits %v\n",
+			100*s.BackedOffFraction(), res.FinalDelayLimits)
+	}
+	det := res.Detection
+	fmt.Printf("DDOS             TSDR %.2f (%d/%d), FSDR %.2f (%d/%d), confirmed SIB PCs %v (true: %v)\n",
+		det.TSDR(), det.TrueDetected, det.TrueSeen,
+		det.FSDR(), det.FalseDetected, det.FalseSeen,
+		res.ConfirmedSIBs, k.Launch.Prog.TrueSIBs)
+	fmt.Printf("energy           %s\n", warpsched.Energy(opt, res))
+
+	if ring != nil {
+		fmt.Printf("\nlast %d pipeline events (%d total):\n%s", *traceN, ring.Total(), ring.Dump())
+	}
+
+	if *profile {
+		fmt.Println("\nper-PC issue counts (hot instructions are where the machine spends issue slots):")
+		var total int64
+		for _, n := range res.PCProfile {
+			total += n
+		}
+		prog := k.Launch.Prog
+		for pc := int32(0); pc < prog.Len(); pc++ {
+			n := res.PCProfile[pc]
+			barLen := 0
+			if total > 0 {
+				barLen = int(50 * n / (total + 1))
+			}
+			fmt.Printf("%10d %5.1f%% %-20s %04d: %s\n", n, 100*float64(n)/float64(total),
+				strings.Repeat("#", barLen), pc, prog.At(pc).Op)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "warpsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+// Scheduler comparison: run every synchronization kernel of the paper's
+// suite under all three baseline warp schedulers, each with and without
+// BOWS — a miniature of the paper's Figure 9 built directly on the public
+// API.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"warpsched"
+)
+
+func main() {
+	// 4 SMs minimum: ST's cooperative wait-and-signal launch needs all
+	// 32 of its CTAs co-resident (4 SMs × 8 CTAs).
+	sms := flag.Int("sms", 4, "SM count (scaled GTX480)")
+	flag.Parse()
+
+	kinds := []warpsched.SchedulerKind{warpsched.LRR, warpsched.GTO, warpsched.CAWA}
+	fmt.Printf("%-6s", "kernel")
+	for _, kind := range kinds {
+		fmt.Printf(" %9s %9s", kind, kind+"+B")
+	}
+	fmt.Println("   (cycles; +B = with BOWS)")
+
+	for _, k := range warpsched.SyncSuite() {
+		fmt.Printf("%-6s", k.Name)
+		for _, kind := range kinds {
+			for _, withBOWS := range []bool{false, true} {
+				opt := warpsched.DefaultOptions()
+				opt.GPU = warpsched.GTX480().Scaled(*sms)
+				opt.Sched = kind
+				if withBOWS {
+					opt.BOWS = warpsched.DefaultBOWS()
+				}
+				res, err := warpsched.Run(opt, k)
+				if err != nil {
+					log.Fatalf("%s under %s: %v", k.Name, kind, err)
+				}
+				fmt.Printf(" %9d", res.Stats.Cycles)
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,53 @@
+// Wait-and-signal: the BarnesHut sort kernel (paper Figure 6c) uses no
+// locks at all — threads busy-wait on flags set by other threads. The
+// example shows DDOS detecting the polling loop as spin-inducing (it is
+// not an atomicCAS loop!) and reports the wait-exit outcome distribution,
+// plus the detection quality metrics of Table I.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"warpsched"
+)
+
+func main() {
+	k, err := warpsched.Kernel("ST")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s\n\n", k.Desc)
+	fmt.Println("kernel assembly (the backward branch marked SIB is the ground-truth spin branch):")
+	fmt.Println(k.Launch.Prog.Listing())
+
+	opt := warpsched.DefaultOptions()
+	opt.GPU = warpsched.GTX480().Scaled(4)
+	opt.Sched = warpsched.GTO
+
+	base, err := warpsched.Run(opt, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt.BOWS = warpsched.DefaultBOWS()
+	bows, err := warpsched.Run(opt, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	det := bows.Detection
+	fmt.Printf("DDOS detection: TSDR=%.2f (%d/%d true SIBs), FSDR=%.2f (%d/%d non-SIB backward branches)\n",
+		det.TSDR(), det.TrueDetected, det.TrueSeen, det.FSDR(), det.FalseDetected, det.FalseSeen)
+	fmt.Printf("confirmed SIB PCs: %v (ground truth: %v)\n\n", bows.ConfirmedSIBs, k.Launch.Prog.TrueSIBs)
+
+	fmt.Printf("%-24s %12s %12s\n", "", "GTO", "GTO+BOWS")
+	fmt.Printf("%-24s %12d %12d\n", "cycles", base.Stats.Cycles, bows.Stats.Cycles)
+	fmt.Printf("%-24s %12d %12d\n", "thread instructions", base.Stats.ThreadInstrs, bows.Stats.ThreadInstrs)
+	fmt.Printf("%-24s %12d %12d\n", "wait-exit successes", base.Stats.Sync.WaitExitSuccess, bows.Stats.Sync.WaitExitSuccess)
+	fmt.Printf("%-24s %12d %12d\n", "wait-exit failures", base.Stats.Sync.WaitExitFail, bows.Stats.Sync.WaitExitFail)
+	e0 := warpsched.Energy(opt, base)
+	e1 := warpsched.Energy(opt, bows)
+	fmt.Printf("%-24s %12.0f %12.0f  (nJ, modeled)\n", "dynamic energy", e0.Total()/1e3, e1.Total()/1e3)
+	fmt.Printf("\nenergy saving: %.2fx (paper: ST gains 17.8%% energy with little speed change —\n", e0.Total()/e1.Total())
+	fmt.Println("the kernel is memory-latency bound, but BOWS removes wasted polling instructions)")
+}

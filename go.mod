@@ -1,0 +1,3 @@
+module warpsched
+
+go 1.22

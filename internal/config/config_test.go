@@ -1,0 +1,153 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableIIParameters(t *testing.T) {
+	f := GTX480()
+	if f.NumSMs != 15 || f.WarpsPerSM != 48 || f.SchedulersPerSM != 2 {
+		t.Fatalf("GTX480 core counts wrong: %+v", f)
+	}
+	if f.Mem.L1KB != 16 || f.Mem.L1Assoc != 4 {
+		t.Fatalf("GTX480 L1 wrong: %+v", f.Mem)
+	}
+	if f.CoreClockMHz != 700 {
+		t.Fatalf("GTX480 clock wrong: %d", f.CoreClockMHz)
+	}
+	p := GTX1080Ti()
+	if p.NumSMs != 28 || p.WarpsPerSM != 64 || p.SchedulersPerSM != 4 {
+		t.Fatalf("GTX1080Ti core counts wrong: %+v", p)
+	}
+	if p.Mem.L1KB != 48 {
+		t.Fatalf("GTX1080Ti L1 wrong: %+v", p.Mem)
+	}
+	// Pascal atomics are much faster per the paper's §II observation.
+	if p.Mem.AtomLat >= f.Mem.AtomLat {
+		t.Fatal("Pascal atomic serialization must be below Fermi's")
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaledKeepsPerSMStructure(t *testing.T) {
+	g := GTX480().Scaled(4)
+	if g.NumSMs != 4 {
+		t.Fatalf("NumSMs = %d", g.NumSMs)
+	}
+	full := GTX480()
+	if g.WarpsPerSM != full.WarpsPerSM || g.SchedulersPerSM != full.SchedulersPerSM {
+		t.Fatal("scaling must not change per-SM structure")
+	}
+	if g.Mem.L2Banks >= full.Mem.L2Banks || g.Mem.L2Banks < 1 {
+		t.Fatalf("L2 bandwidth should scale down but stay ≥ 1: %d", g.Mem.L2Banks)
+	}
+	if !strings.Contains(g.Name, "4SM") {
+		t.Fatalf("scaled name = %q", g.Name)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate scales are no-ops.
+	if GTX480().Scaled(0).NumSMs != 15 || GTX480().Scaled(99).NumSMs != 15 {
+		t.Fatal("invalid scale should be a no-op")
+	}
+}
+
+func TestValidateRejectsBadGPU(t *testing.T) {
+	mutations := []func(*GPU){
+		func(g *GPU) { g.NumSMs = 0 },
+		func(g *GPU) { g.WarpsPerSM = 0 },
+		func(g *GPU) { g.SchedulersPerSM = 5 }, // 48 % 5 != 0
+		func(g *GPU) { g.MaxCTAsPerSM = 0 },
+		func(g *GPU) { g.ALULat = 0 },
+		func(g *GPU) { g.Mem.L2Banks = 0 },
+		func(g *GPU) { g.Mem.AtomLat = 0 },
+		func(g *GPU) { g.Mem.LSQDepth = 0 },
+		func(g *GPU) { g.MaxCycles = 0 },
+	}
+	for i, mut := range mutations {
+		g := GTX480()
+		mut(&g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("mutation %d should fail validation", i)
+		}
+	}
+}
+
+func TestDDOSDefaultsMatchPaper(t *testing.T) {
+	d := DefaultDDOS()
+	if d.Hash != HashXOR || d.PathBits != 8 || d.ValueBits != 8 ||
+		d.HistoryLen != 8 || d.ConfidenceThreshold != 4 || d.TimeShare {
+		t.Fatalf("DDOS defaults diverge from the paper: %+v", d)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDDOSValidate(t *testing.T) {
+	d := DefaultDDOS()
+	d.Hash = "CRC"
+	if d.Validate() == nil {
+		t.Fatal("unknown hash must fail")
+	}
+	d = DefaultDDOS()
+	d.PathBits = 0
+	if d.Validate() == nil {
+		t.Fatal("zero path bits must fail")
+	}
+	d = DefaultDDOS()
+	d.TimeShare = true
+	d.TimeShareEpoch = 0
+	if d.Validate() == nil {
+		t.Fatal("time sharing without epoch must fail")
+	}
+}
+
+func TestBOWSDefaultsMatchPaper(t *testing.T) {
+	b := DefaultBOWS()
+	if b.WindowCycles != 1000 || b.DelayStep != 250 || b.MinLimit != 1000 ||
+		b.Frac1 != 0.5 || b.Frac2 != 0.8 {
+		t.Fatalf("BOWS defaults diverge from Table II: %+v", b)
+	}
+	if !b.Adaptive || b.Mode != BOWSDDOS {
+		t.Fatal("default BOWS should be adaptive and DDOS-driven")
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedBOWS(t *testing.T) {
+	b := FixedBOWS(3000)
+	if b.Adaptive || b.DelayLimit != 3000 {
+		t.Fatalf("FixedBOWS wrong: %+v", b)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBOWSValidate(t *testing.T) {
+	b := DefaultBOWS()
+	b.Mode = "banana"
+	if b.Validate() == nil {
+		t.Fatal("unknown mode must fail")
+	}
+	b = DefaultBOWS()
+	b.MaxLimit = 10
+	b.MinLimit = 100
+	if b.Validate() == nil {
+		t.Fatal("max < min must fail")
+	}
+	off := BOWS{Mode: BOWSOff}
+	if off.Validate() != nil {
+		t.Fatal("off mode needs no other fields")
+	}
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"warpsched/internal/config"
+	"warpsched/internal/isa"
+	"warpsched/internal/sched"
+)
+
+// DebugAdaptive, when set, observes each adaptive-controller window
+// (development aid; nil in production).
+var DebugAdaptive func(cycle, tot, sib, limit int64)
+
+// BOWS is one SM's Back-Off Warp Spinning state: per-warp backed-off
+// flags, pending back-off delay expiries, and the adaptive delay-limit
+// controller of Figure 5. Scheduler units attach through Wrap.
+type BOWS struct {
+	cfg   config.BOWS
+	ddos  *DDOS // nil in static (annotation-driven) mode
+	limit int64
+
+	backedOff    []bool
+	pendingUntil []int64
+	// inSpinLoop tracks whether a warp's most recent taken backward
+	// branch was a confirmed SIB; instructions issued while it holds are
+	// the controller's "SIB instructions" (see onIssue).
+	inSpinLoop []bool
+
+	// Adaptive controller window counters.
+	windowStart int64
+	totInstr    int64
+	sibInstr    int64
+	prevRatio   float64
+	havePrev    bool
+
+	// lfsr drives the back-off jitter (see onIssue).
+	lfsr uint32
+
+	// stats
+	sibExecutions int64
+}
+
+// NewBOWS creates the SM-wide BOWS state. ddos may be nil when cfg.Mode
+// is BOWSStatic.
+func NewBOWS(cfg config.BOWS, ddos *DDOS, numSlots int) *BOWS {
+	limit := cfg.DelayLimit
+	if cfg.Adaptive {
+		limit = cfg.MinLimit
+	}
+	return &BOWS{
+		cfg:          cfg,
+		ddos:         ddos,
+		limit:        limit,
+		backedOff:    make([]bool, numSlots),
+		pendingUntil: make([]int64, numSlots),
+		inSpinLoop:   make([]bool, numSlots),
+	}
+}
+
+// DelayLimit returns the current back-off delay limit.
+func (b *BOWS) DelayLimit() int64 { return b.limit }
+
+// BackedOff reports whether the warp in slot is in the backed-off state.
+func (b *BOWS) BackedOff(slot int) bool { return b.backedOff[slot] }
+
+// SIBExecutions returns the number of warp SIB executions observed.
+func (b *BOWS) SIBExecutions() int64 { return b.sibExecutions }
+
+// IsSIB resolves the active trigger source for a branch instruction.
+func (b *BOWS) IsSIB(pc int32, in *isa.Instr) bool {
+	switch b.cfg.Mode {
+	case config.BOWSStatic:
+		return in.HasAnn(isa.AnnSIB)
+	case config.BOWSDDOS:
+		return b.ddos != nil && b.ddos.IsSIB(pc)
+	}
+	return false
+}
+
+// OnSIB records that the warp in slot executed (took) a spin-inducing
+// branch: it enters the backed-off state (Figure 4, step 6).
+func (b *BOWS) OnSIB(slot int) {
+	b.sibExecutions++
+	b.backedOff[slot] = true
+	b.inSpinLoop[slot] = true
+}
+
+// OnBackwardNonSIB records a taken backward branch that is not a SIB: the
+// warp has moved to a different (non-spin) loop.
+func (b *BOWS) OnBackwardNonSIB(slot int) { b.inSpinLoop[slot] = false }
+
+// onIssue accounts an issued instruction and handles backed-off exit: the
+// warp leaves the state and its pending back-off delay restarts at the
+// current limit (Figure 4, steps 3-4), plus a small LFSR-derived jitter.
+//
+// The jitter is an implementation addition: with a perfectly uniform
+// delay, warps whose critical sections symmetrically conflict (e.g. the
+// nested try-locks of ATM/DS, where A holds account X wanting Y while B
+// holds Y wanting X) are re-released in lockstep and can retry-collide
+// forever — a convoy livelock that real machines escape through timing
+// noise the simulator does not otherwise model. A per-SM 16-bit LFSR
+// (trivial hardware) spreads retries over [limit, 1.5·limit + 32), which
+// preserves the paper's minimum-interval semantics.
+func (b *BOWS) onIssue(slot int, cycle int64) {
+	b.totInstr++
+	// Figure 5's "SIB Instructions": the dynamic instructions attributable
+	// to busy waiting. We attribute an issued instruction to spinning when
+	// the issuing warp is inside a confirmed spin loop (its most recent
+	// taken backward branch was a SIB) AND the DDOS history currently
+	// classifies it as spinning — the only reading under which the
+	// FRAC1=0.5 threshold of Table II can ever trigger (the SIB branch
+	// itself is at most ~20% of a spin iteration), while productive
+	// polling loops (wait-and-signal kernels whose values change) do not
+	// drive the limit up.
+	if b.inSpinLoop[slot] && (b.ddos == nil || b.ddos.Spinning(slot)) {
+		b.sibInstr++
+	}
+	if b.backedOff[slot] {
+		b.backedOff[slot] = false
+		b.pendingUntil[slot] = cycle + b.limit + b.jitter()
+	}
+}
+
+func (b *BOWS) jitter() int64 {
+	// 16-bit Galois LFSR, taps 0xB400.
+	if b.lfsr == 0 {
+		b.lfsr = 0xACE1
+	}
+	lsb := b.lfsr & 1
+	b.lfsr >>= 1
+	if lsb != 0 {
+		b.lfsr ^= 0xB400
+	}
+	span := b.limit/2 + 32
+	return int64(b.lfsr) % span
+}
+
+// eligible reports whether a backed-off warp may issue: its pending
+// back-off delay must have expired.
+func (b *BOWS) eligible(slot int, cycle int64) bool {
+	return cycle >= b.pendingUntil[slot]
+}
+
+// minWindowInstrs is the minimum issued-instruction sample an adaptive
+// window must contain before the Figure 5 conditions are evaluated. The
+// paper evaluates every T=1000 cycles on SMs issuing ~2 IPC (≈2000
+// instructions per window); a lightly loaded or heavily backed-off SM in
+// this simulator can see under a hundred, making the window-over-window
+// ratio test fire on sampling noise and pin the limit at the minimum.
+// Accumulating windows until the sample matches the paper's effective
+// window size preserves the controller's semantics across load levels.
+const minWindowInstrs = 512
+
+// Tick advances the adaptive delay-limit controller (Figure 5). Called
+// once per SM cycle.
+func (b *BOWS) Tick(cycle int64) {
+	if !b.cfg.Adaptive {
+		return
+	}
+	if cycle-b.windowStart < b.cfg.WindowCycles {
+		return
+	}
+	if b.totInstr < minWindowInstrs {
+		return // keep accumulating until the sample is meaningful
+	}
+	b.windowStart = cycle
+	tot, sib := b.totInstr, b.sibInstr
+	b.totInstr, b.sibInstr = 0, 0
+	if DebugAdaptive != nil {
+		DebugAdaptive(cycle, tot, sib, b.limit)
+	}
+	if float64(sib) > b.cfg.Frac1*float64(tot) {
+		b.limit += b.cfg.DelayStep
+	}
+	if sib > 0 {
+		ratio := float64(tot) / float64(sib)
+		if b.havePrev && ratio < b.cfg.Frac2*b.prevRatio {
+			b.limit -= 2 * b.cfg.DelayStep
+		}
+		b.prevRatio = ratio
+		b.havePrev = true
+	}
+	if b.limit > b.cfg.MaxLimit {
+		b.limit = b.cfg.MaxLimit
+	}
+	if b.limit < b.cfg.MinLimit {
+		b.limit = b.cfg.MinLimit
+	}
+}
+
+// Wrapped is the per-scheduler-unit BOWS arbitration of Figure 8: the
+// base policy chooses among ready, non-backed-off warps; only when none
+// exists may a ready backed-off warp whose pending delay has expired
+// issue, in backed-off queue (FIFO) order.
+type Wrapped struct {
+	base  sched.Policy
+	bows  *BOWS
+	queue []int // backed-off FIFO for this unit's slots
+}
+
+var _ sched.Policy = (*Wrapped)(nil)
+
+// Wrap attaches BOWS arbitration to a base policy for one scheduler unit.
+func Wrap(base sched.Policy, b *BOWS) *Wrapped {
+	return &Wrapped{base: base, bows: b}
+}
+
+// Name implements sched.Policy.
+func (w *Wrapped) Name() string { return w.base.Name() + "+BOWS" }
+
+// Pick implements sched.Policy.
+func (w *Wrapped) Pick(cycle int64, ready func(int) bool) int {
+	if s := w.base.Pick(cycle, func(slot int) bool {
+		return !w.bows.backedOff[slot] && ready(slot)
+	}); s >= 0 {
+		return s
+	}
+	for _, s := range w.queue {
+		if ready(s) && w.bows.eligible(s, cycle) {
+			return s
+		}
+	}
+	return -1
+}
+
+// OnIssue implements sched.Policy.
+func (w *Wrapped) OnIssue(slot int, cycle int64) {
+	if w.bows.backedOff[slot] {
+		for i, s := range w.queue {
+			if s == slot {
+				w.queue = append(w.queue[:i], w.queue[i+1:]...)
+				break
+			}
+		}
+	}
+	w.bows.onIssue(slot, cycle)
+	w.base.OnIssue(slot, cycle)
+}
+
+// OnBranch implements sched.Policy.
+func (w *Wrapped) OnBranch(slot int, backwardTaken bool) {
+	w.base.OnBranch(slot, backwardTaken)
+}
+
+// OnSIB pushes the warp to the back of this unit's backed-off queue.
+func (w *Wrapped) OnSIB(slot int) {
+	if !w.bows.backedOff[slot] {
+		w.queue = append(w.queue, slot)
+	}
+	w.bows.OnSIB(slot)
+}
+
+// QueueLen returns the backed-off queue occupancy (for tests).
+func (w *Wrapped) QueueLen() int { return len(w.queue) }

@@ -1,0 +1,71 @@
+// Package cpuref is the scalar CPU baseline of the paper's Figure 1b: a
+// single-threaded hashtable insertion running the same algorithm as the
+// GPU kernel, with a simple cost model (instructions × CPI plus a cache
+// penalty that grows when the working set outgrows the modeled LLC). The
+// paper measured an Intel i7-4770K at 3.5 GHz; only the *shape* of the
+// comparison matters (GPU wins at low contention, CPU is flat in bucket
+// count), so the model is deliberately simple and its parameters are
+// documented constants.
+package cpuref
+
+// CPUModel holds the cost-model parameters.
+type CPUModel struct {
+	// ClockMHz converts cycles to time; 3500 models the i7-4770K.
+	ClockMHz int
+	// InsnPerInsert is the instruction path length of one serial
+	// hashtable insertion (hash, load head, two stores, loop overhead).
+	InsnPerInsert float64
+	// CPI is the base cycles per instruction of the scalar core.
+	CPI float64
+	// MissPenalty is the extra cycles charged per insertion when the
+	// table working set exceeds LLCWords.
+	MissPenalty float64
+	LLCWords    int
+}
+
+// DefaultCPU returns the i7-4770K-class model.
+func DefaultCPU() CPUModel {
+	return CPUModel{
+		ClockMHz:      3500,
+		InsnPerInsert: 30,
+		CPI:           0.8,
+		MissPenalty:   120,
+		LLCWords:      2 << 20, // 8 MB LLC
+	}
+}
+
+// HashtableResult reports the modeled serial run.
+type HashtableResult struct {
+	Cycles int64
+	Millis float64
+	// Heads is the resulting table (bucket → chain head), for parity
+	// checks against the GPU kernel's verifier.
+	Heads []int32
+	Nexts []int32
+}
+
+// RunHashtable inserts keys into a buckets-sized chained hashtable
+// serially and returns modeled time.
+func (m CPUModel) RunHashtable(keys []uint32, buckets int) HashtableResult {
+	heads := make([]int32, buckets)
+	for i := range heads {
+		heads[i] = -1
+	}
+	nexts := make([]int32, len(keys))
+	for i, k := range keys {
+		b := k % uint32(buckets)
+		nexts[i] = heads[b]
+		heads[b] = int32(i)
+	}
+	perInsert := m.InsnPerInsert * m.CPI
+	if 2*len(keys)+buckets > m.LLCWords {
+		perInsert += m.MissPenalty
+	}
+	cycles := int64(perInsert * float64(len(keys)))
+	return HashtableResult{
+		Cycles: cycles,
+		Millis: float64(cycles) / (float64(m.ClockMHz) * 1000),
+		Heads:  heads,
+		Nexts:  nexts,
+	}
+}

@@ -1,0 +1,47 @@
+package cpuref
+
+import "testing"
+
+func TestHashtableMatchesReference(t *testing.T) {
+	m := DefaultCPU()
+	keys := []uint32{5, 13, 5, 21, 8}
+	res := m.RunHashtable(keys, 8)
+	// Bucket 5 holds keys 5, 13, 5, 21 (13%8 = 21%8 = 5), newest first.
+	if res.Heads[5] != 3 {
+		t.Fatalf("head[5] = %d, want newest insert 3", res.Heads[5])
+	}
+	if res.Nexts[3] != 2 || res.Nexts[2] != 1 || res.Nexts[1] != 0 || res.Nexts[0] != -1 {
+		t.Fatalf("chain wrong: %v", res.Nexts)
+	}
+	if res.Heads[0] != 4 { // 8%8 = 0
+		t.Fatalf("head[0] = %d", res.Heads[0])
+	}
+	if res.Cycles <= 0 || res.Millis <= 0 {
+		t.Fatal("cost model must charge time")
+	}
+}
+
+func TestCostFlatInBuckets(t *testing.T) {
+	// The serial CPU cost is (nearly) independent of the bucket count —
+	// the property Figure 1b relies on.
+	m := DefaultCPU()
+	keys := make([]uint32, 10000)
+	for i := range keys {
+		keys[i] = uint32(i * 7919)
+	}
+	a := m.RunHashtable(keys, 128).Cycles
+	b := m.RunHashtable(keys, 4096).Cycles
+	if a != b {
+		t.Fatalf("CPU cost should be flat in bucket count: %d vs %d", a, b)
+	}
+}
+
+func TestLLCPenalty(t *testing.T) {
+	m := DefaultCPU()
+	m.LLCWords = 10 // force the miss penalty
+	small := DefaultCPU()
+	keys := make([]uint32, 1000)
+	if m.RunHashtable(keys, 8).Cycles <= small.RunHashtable(keys, 8).Cycles {
+		t.Fatal("outgrowing the LLC must cost more")
+	}
+}

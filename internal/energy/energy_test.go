@@ -1,0 +1,72 @@
+package energy
+
+import (
+	"testing"
+
+	"warpsched/internal/stats"
+)
+
+func TestComputeMonotonicInEvents(t *testing.T) {
+	c := Fermi()
+	base := stats.Sim{WarpInstrs: 100, ThreadInstrs: 1000}
+	more := base
+	more.Mem.DRAMAccesses = 50
+	e0 := Compute(c, &base).Total()
+	e1 := Compute(c, &more).Total()
+	if e1 <= e0 {
+		t.Fatalf("more DRAM accesses must cost more energy: %f vs %f", e1, e0)
+	}
+}
+
+func TestComputeZero(t *testing.T) {
+	var s stats.Sim
+	if got := Compute(Fermi(), &s).Total(); got != 0 {
+		t.Fatalf("zero activity should cost zero dynamic energy, got %f", got)
+	}
+}
+
+func TestBreakdownTotalIsSum(t *testing.T) {
+	b := Breakdown{Core: 1, L1: 2, L2: 3, DRAM: 4, Atomic: 5, Idle: 6, Sched: 7}
+	if b.Total() != 28 {
+		t.Fatalf("Total = %f", b.Total())
+	}
+}
+
+func TestPascalCheaperPerEvent(t *testing.T) {
+	f, p := Fermi(), Pascal()
+	if p.IssuePJ >= f.IssuePJ || p.DRAMPJ >= f.DRAMPJ || p.L2PJ >= f.L2PJ {
+		t.Fatal("16nm Pascal events must cost less than 40nm Fermi events")
+	}
+}
+
+func TestByConfigName(t *testing.T) {
+	if ByConfigName("GTX1080Ti") != Pascal() {
+		t.Fatal("GTX1080Ti should map to Pascal coefficients")
+	}
+	if ByConfigName("GTX1080Ti/7SM") != Pascal() {
+		t.Fatal("scaled Pascal names should map to Pascal coefficients")
+	}
+	if ByConfigName("GTX480") != Fermi() {
+		t.Fatal("GTX480 should map to Fermi coefficients")
+	}
+	if ByConfigName("GTX480/4SM") != Fermi() {
+		t.Fatal("scaled Fermi names should map to Fermi coefficients")
+	}
+}
+
+func TestDRAMDominatesForMemoryBound(t *testing.T) {
+	c := Fermi()
+	s := stats.Sim{WarpInstrs: 10, ThreadInstrs: 100}
+	s.Mem.DRAMAccesses = 1000
+	b := Compute(c, &s)
+	if b.DRAM <= b.Core {
+		t.Fatal("heavy DRAM traffic should dominate the energy breakdown")
+	}
+}
+
+func TestStringRendersNanojoules(t *testing.T) {
+	b := Breakdown{Core: 1e3}
+	if got := b.String(); len(got) == 0 {
+		t.Fatal("empty String()")
+	}
+}

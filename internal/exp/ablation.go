@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"strings"
+
+	"warpsched/internal/config"
+)
+
+// AblationResult isolates the contributions of BOWS's parts, a study the
+// paper motivates but does not tabulate:
+//
+//   - deprioritization only (BOWS with a zero delay limit),
+//   - fixed minimum delay (1000) without adaptivity,
+//   - the full adaptive system,
+//   - and detection source: DDOS-driven versus oracle static annotations
+//     (the paper's "identified by programmer or compiler" mode), which
+//     bounds the cost of dynamic detection.
+type AblationResult struct {
+	Kernels []string
+	Columns []string
+	// Time[kernel][column] normalized to GTO.
+	Time map[string][]float64
+	Gm   []float64
+}
+
+var ablationColumns = []string{
+	"GTO", "deprioritize-only", "fixed-1000", "adaptive(DDOS)", "adaptive(static)",
+}
+
+// Ablation runs the component study on GTO.
+func Ablation(c Cfg) (*AblationResult, error) {
+	gpu := c.fermi()
+	r := &AblationResult{Columns: ablationColumns, Time: map[string][]float64{}}
+	configs := []config.BOWS{
+		bowsOff(),
+		config.FixedBOWS(0),
+		config.FixedBOWS(1000),
+		config.DefaultBOWS(),
+		func() config.BOWS {
+			b := config.DefaultBOWS()
+			b.Mode = config.BOWSStatic
+			return b
+		}(),
+	}
+	gm := make([][]float64, len(configs))
+	for _, k := range c.syncSuite() {
+		r.Kernels = append(r.Kernels, k.Name)
+		var times []float64
+		for i, bows := range configs {
+			res, err := run(gpu, config.GTO, bows, config.DefaultDDOS(), k)
+			if err != nil {
+				return nil, err
+			}
+			times = append(times, float64(res.Stats.Cycles))
+			c.note("ablation %s %s: %d cycles", k.Name, r.Columns[i], res.Stats.Cycles)
+		}
+		base := times[0]
+		for i := range times {
+			times[i] /= base
+			gm[i] = append(gm[i], times[i])
+		}
+		r.Time[k.Name] = times
+	}
+	for _, vs := range gm {
+		r.Gm = append(r.Gm, gmean(vs))
+	}
+	return r, nil
+}
+
+func (r *AblationResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Ablation — BOWS component contributions (normalized execution time, GTO = 1.00)\n\n")
+	t := &table{header: append([]string{"kernel"}, r.Columns...)}
+	for _, k := range r.Kernels {
+		row := []string{k}
+		for _, v := range r.Time[k] {
+			row = append(row, f2(v))
+		}
+		t.add(row...)
+	}
+	row := []string{"gmean"}
+	for _, v := range r.Gm {
+		row = append(row, f2(v))
+	}
+	t.add(row...)
+	sb.WriteString(t.String())
+	sb.WriteString("reading: deprioritize-only isolates the priority-queue change; fixed-1000 adds the minimum\n")
+	sb.WriteString("interval; adaptive(static) bounds what a compiler-annotated BOWS could do over DDOS\n")
+	return sb.String()
+}

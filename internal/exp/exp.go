@@ -1,0 +1,209 @@
+// Package exp is the reproduction harness: one experiment per table and
+// figure of the paper's evaluation (Figures 1-3 and 9-16, Tables I-III),
+// each returning a typed result that renders as a text table next to the
+// paper's reported numbers. cmd/experiments and the repository's
+// bench_test.go both drive this package.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"warpsched/internal/config"
+	"warpsched/internal/kernels"
+	"warpsched/internal/sim"
+)
+
+// Cfg scales the harness.
+type Cfg struct {
+	// SMs overrides the SM count (0 keeps the full Table II machine).
+	// Experiments default to a scaled machine so a sweep finishes in
+	// minutes; the scaling preserves per-SM structure and the
+	// compute:memory balance (config.GPU.Scaled).
+	SMs int
+	// Quick selects the reduced kernel sizes (used by tests/benches).
+	Quick bool
+	// Progress, when non-nil, receives one line per completed run.
+	Progress func(string)
+}
+
+func (c Cfg) note(format string, args ...any) {
+	if c.Progress != nil {
+		c.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+func (c Cfg) fermi() config.GPU {
+	g := config.GTX480()
+	if c.SMs > 0 {
+		g = g.Scaled(c.SMs)
+	} else if c.Quick {
+		g = g.Scaled(2)
+	} else {
+		g = g.Scaled(4)
+	}
+	return g
+}
+
+func (c Cfg) pascal() config.GPU {
+	g := config.GTX1080Ti()
+	switch {
+	case c.SMs > 0:
+		g = g.Scaled(c.SMs)
+	case c.Quick:
+		g = g.Scaled(2)
+	default:
+		g = g.Scaled(7) // same 15:28 ratio as the 4-SM Fermi scale
+	}
+	return g
+}
+
+func (c Cfg) syncSuite() []*kernels.Kernel {
+	if c.Quick {
+		return kernels.QuickSyncSuite()
+	}
+	return kernels.SyncSuite()
+}
+
+func (c Cfg) syncFreeSuite() []*kernels.Kernel {
+	if c.Quick {
+		return kernels.QuickSyncFreeSuite()
+	}
+	return kernels.SyncFreeSuite()
+}
+
+// run simulates one kernel and verifies its output. Experiments cap
+// runaway configurations (a pathologically scheduled baseline can
+// approach livelock, e.g. DS on the oversubscribed Pascal — an effect
+// the paper itself reports in §VI-D) at expMaxCycles; the partial result
+// is returned alongside the error so sweeps can record "at least this
+// slow" instead of aborting.
+func run(gpu config.GPU, kind config.SchedulerKind, bows config.BOWS,
+	ddos config.DDOS, k *kernels.Kernel) (*sim.Result, error) {
+	if gpu.MaxCycles > expMaxCycles {
+		gpu.MaxCycles = expMaxCycles
+	}
+	eng, err := sim.New(sim.Options{GPU: gpu, Sched: kind, BOWS: bows, DDOS: ddos}, k.Launch)
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.Run()
+	if err != nil {
+		return res, err // res is the partial state on a watchdog abort
+	}
+	if err := k.Verify(res.Memory); err != nil {
+		return nil, fmt.Errorf("%s under %s: %w", k.Name, kind, err)
+	}
+	return res, nil
+}
+
+// expMaxCycles bounds one experiment run; configurations that exceed it
+// are reported as lower bounds.
+const expMaxCycles = 10_000_000
+
+func bowsOff() config.BOWS { return config.BOWS{Mode: config.BOWSOff} }
+
+// gmean returns the geometric mean of positive values.
+func gmean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		prod *= v
+	}
+	return math.Pow(prod, 1/float64(len(vs)))
+}
+
+// Experiment is a registry entry.
+type Experiment struct {
+	Name  string // registry key, e.g. "fig9"
+	Title string
+	Run   func(Cfg) (fmt.Stringer, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig1", "Fig. 1: fine-grained synchronization on current GPUs (hashtable motivation)", func(c Cfg) (fmt.Stringer, error) { return Fig1(c) }},
+		{"fig2", "Fig. 2: synchronization status distribution under LRR/GTO/CAWA", func(c Cfg) (fmt.Stringer, error) { return Fig2(c) }},
+		{"fig3", "Fig. 3: software back-off delay on GPUs", func(c Cfg) (fmt.Stringer, error) { return Fig3(c) }},
+		{"table1", "Table I: DDOS sensitivity to design parameters", func(c Cfg) (fmt.Stringer, error) { return Table1(c) }},
+		{"fig9", "Fig. 9: performance and energy savings on GTX480 (Fermi)", func(c Cfg) (fmt.Stringer, error) { return ExecEnergy(c, c.fermi(), "Fig. 9") }},
+		{"delaysweep", "Figs. 10-13: back-off delay limit sweep (exec time, warp distribution, lock status, overheads)", func(c Cfg) (fmt.Stringer, error) { return DelaySweep(c) }},
+		{"fig14", "Fig. 14: overheads due to detection errors (MODULO hashing)", func(c Cfg) (fmt.Stringer, error) { return Fig14(c) }},
+		{"fig15", "Fig. 15: performance and energy savings on Pascal (GTX1080Ti)", func(c Cfg) (fmt.Stringer, error) { return ExecEnergy(c, c.pascal(), "Fig. 15") }},
+		{"fig16", "Fig. 16: sensitivity to contention (hashtable buckets sweep)", func(c Cfg) (fmt.Stringer, error) { return Fig16(c) }},
+		{"ablation", "Ablation: BOWS component contributions (deprioritize / fixed delay / adaptive / static annotations)", func(c Cfg) (fmt.Stringer, error) { return Ablation(c) }},
+		{"table2", "Table II: simulated configurations", func(c Cfg) (fmt.Stringer, error) { return Table2(c) }},
+		{"table3", "Table III: DDOS and BOWS implementation costs", func(c Cfg) (fmt.Stringer, error) { return Table3(c) }},
+	}
+}
+
+// ByName resolves a registry key.
+func ByName(name string) (Experiment, error) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	var names []string
+	for _, e := range All() {
+		names = append(names, e.Name)
+	}
+	sort.Strings(names)
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q (have: %s)", name, strings.Join(names, ", "))
+}
+
+// table is a minimal fixed-width text table renderer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.rows {
+		line(r)
+	}
+	return sb.String()
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"warpsched/internal/config"
+	"warpsched/internal/kernels"
+)
+
+// Fig16Result reproduces Figure 16: sensitivity to contention via a
+// hashtable bucket sweep. For each bucket count it reports BOWS's speedup
+// over GTO (16a) and BOWS's dynamic instruction count normalized to GTO
+// next to the "ideal blocking" instruction count — the useful-instruction
+// count a perfect queuing lock (an idealized HQL) would execute (16b).
+type Fig16Result struct {
+	Buckets    []int
+	Speedup    []float64
+	BOWSInstr  []float64 // normalized to GTO
+	IdealInstr []float64 // measured with the blocking queue-lock unit
+	IdealSpeed []float64 // queue-lock speedup over GTO
+}
+
+// Fig16Buckets is the paper's contention sweep.
+var Fig16Buckets = []int{128, 256, 512, 1024, 2048, 4096}
+
+// Fig16 runs the contention sweep.
+func Fig16(c Cfg) (*Fig16Result, error) {
+	gpu := c.fermi()
+	// Same machine-saturating geometry as the suite's HT instance.
+	items, ctas, ctaThreads := 12288, 48, 128
+	if c.Quick {
+		items, ctas, ctaThreads = 6144, 24, 128
+	}
+	r := &Fig16Result{}
+	for _, buckets := range Fig16Buckets {
+		k := kernels.NewHashTable(kernels.HashTableConfig{
+			Items: items, Buckets: buckets, CTAs: ctas, CTAThreads: ctaThreads,
+		})
+		base, err := run(gpu, config.GTO, bowsOff(), config.DefaultDDOS(), k)
+		if err != nil {
+			return nil, err
+		}
+		bows, err := run(gpu, config.GTO, config.DefaultBOWS(), config.DefaultDDOS(), k)
+		if err != nil {
+			return nil, err
+		}
+		// Ideal blocking (the paper's HQL proxy, Fig. 16b): run the same
+		// kernel on the machine with the blocking queue-lock unit enabled
+		// — acquires park at the L2 and never retry.
+		qGPU := gpu
+		qGPU.Mem.QueueLocks = true
+		ideal, err := run(qGPU, config.GTO, bowsOff(), config.DefaultDDOS(), k)
+		if err != nil {
+			return nil, err
+		}
+		r.Buckets = append(r.Buckets, buckets)
+		r.Speedup = append(r.Speedup, float64(base.Stats.Cycles)/float64(bows.Stats.Cycles))
+		r.BOWSInstr = append(r.BOWSInstr, float64(bows.Stats.ThreadInstrs)/float64(base.Stats.ThreadInstrs))
+		r.IdealInstr = append(r.IdealInstr, float64(ideal.Stats.ThreadInstrs)/float64(base.Stats.ThreadInstrs))
+		r.IdealSpeed = append(r.IdealSpeed, float64(base.Stats.Cycles)/float64(ideal.Stats.Cycles))
+		c.note("fig16 buckets=%d: GTO=%d BOWS=%d ideal=%d cycles", buckets, base.Stats.Cycles, bows.Stats.Cycles, ideal.Stats.Cycles)
+	}
+	return r, nil
+}
+
+func (r *Fig16Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 16 — sensitivity to contention (hashtable; fewer buckets = higher contention)\n\n")
+	t := &table{header: []string{"buckets", "BOWS speedup over GTO (16a)", "BOWS inst. count / GTO (16b)", "ideal blocking inst. count / GTO", "ideal blocking speedup"}}
+	for i, b := range r.Buckets {
+		t.add(fmt.Sprintf("%d", b), f2(r.Speedup[i]), f2(r.BOWSInstr[i]), f2(r.IdealInstr[i]), f2(r.IdealSpeed[i]))
+	}
+	sb.WriteString(t.String())
+	sb.WriteString("paper: speedup ~5x at 128 buckets down to ~1.2x at 4096; instruction savings 3.7x→1.3x;\n")
+	sb.WriteString("       the gap to ideal blocking narrows as buckets increase\n")
+	return sb.String()
+}

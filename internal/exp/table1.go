@@ -1,0 +1,210 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"warpsched/internal/config"
+	"warpsched/internal/core"
+)
+
+// Table1Row is one configuration of the DDOS sensitivity study: average
+// true/false spin detection rates and detection phase ratios over the
+// benchmark suite.
+type Table1Row struct {
+	Label     string
+	TSDR      float64
+	TrueDPR   float64
+	FSDR      float64
+	FalseDPR  float64
+	Benchmark int // benchmarks contributing
+}
+
+// Table1Result reproduces Table I: DDOS sensitivity to hashing function,
+// hash width, confidence threshold, history length and time sharing.
+type Table1Result struct {
+	Sections map[string][]Table1Row
+	Order    []string
+}
+
+type ddosKey struct {
+	hash      config.HashKind
+	width     int
+	threshold int
+	length    int
+	share     bool
+}
+
+// Table1 runs the sensitivity sweep over the sync and sync-free suites.
+// Detection-quality rates are insensitive to input scale (loops only need
+// enough iterations to exercise the history FSM), so the sweep always
+// uses the quick suite sizes: 20 configurations x 14 kernels is the
+// largest run matrix in the harness.
+func Table1(c Cfg) (*Table1Result, error) {
+	c.Quick = true
+	gpu := c.fermi()
+	suite := append(c.syncSuite(), c.syncFreeSuite()...)
+
+	cache := map[ddosKey]Table1Row{}
+	eval := func(label string, key ddosKey) (Table1Row, error) {
+		if row, ok := cache[key]; ok {
+			row.Label = label
+			return row, nil
+		}
+		d := config.DefaultDDOS()
+		d.Hash = key.hash
+		d.PathBits, d.ValueBits = key.width, key.width
+		d.ConfidenceThreshold = key.threshold
+		d.HistoryLen = key.length
+		d.TimeShare = key.share
+		var agg core.DetectionMetrics
+		var tsdrs, fsdrs, tdprs, fdprs []float64
+		for _, k := range suite {
+			res, err := run(gpu, config.GTO, bowsOff(), d, k)
+			if err != nil {
+				return Table1Row{}, fmt.Errorf("table1 %s on %s: %w", label, k.Name, err)
+			}
+			det := res.Detection
+			agg.Add(det)
+			if det.TrueSeen > 0 {
+				tsdrs = append(tsdrs, det.TSDR())
+				if det.TrueDetected > 0 {
+					tdprs = append(tdprs, det.TrueDPR())
+				}
+			}
+			if det.FalseSeen > 0 {
+				fsdrs = append(fsdrs, det.FSDR())
+				if det.FalseDetected > 0 {
+					fdprs = append(fdprs, det.FalseDPR())
+				}
+			}
+		}
+		row := Table1Row{
+			Label: label, Benchmark: len(suite),
+			TSDR: mean(tsdrs), TrueDPR: mean(tdprs),
+			FSDR: mean(fsdrs), FalseDPR: mean(fdprs),
+		}
+		cache[key] = row
+		c.note("table1 %s: TSDR=%.3f FSDR=%.3f", label, row.TSDR, row.FSDR)
+		return row, nil
+	}
+
+	res := &Table1Result{Sections: map[string][]Table1Row{}}
+	addSection := func(name string, rows []Table1Row) {
+		res.Order = append(res.Order, name)
+		res.Sections[name] = rows
+	}
+
+	base := ddosKey{hash: config.HashXOR, width: 8, threshold: 4, length: 8}
+
+	// Hashing function at t=4, l=8.
+	var rows []Table1Row
+	for _, cfg := range []struct {
+		label string
+		hash  config.HashKind
+		width int
+	}{
+		{"XOR, m=k=4", config.HashXOR, 4},
+		{"XOR, m=k=8", config.HashXOR, 8},
+		{"MODULO, m=k=4", config.HashModulo, 4},
+		{"MODULO, m=k=8", config.HashModulo, 8},
+	} {
+		key := base
+		key.hash, key.width = cfg.hash, cfg.width
+		row, err := eval(cfg.label, key)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	addSection("hashing function (t=4, l=8)", rows)
+
+	// Hash width with XOR.
+	rows = nil
+	for _, w := range []int{2, 3, 4, 8} {
+		key := base
+		key.width = w
+		row, err := eval(fmt.Sprintf("m=k=%d", w), key)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	addSection("hashed path/value width (XOR, t=4, l=8)", rows)
+
+	// Confidence threshold at m=k=4.
+	rows = nil
+	for _, t := range []int{2, 4, 8, 12} {
+		key := base
+		key.width, key.threshold = 4, t
+		row, err := eval(fmt.Sprintf("t=%d", t), key)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	addSection("confidence threshold (XOR, m=k=4, l=8)", rows)
+
+	// History length at m=k=8.
+	rows = nil
+	for _, l := range []int{1, 2, 4, 8} {
+		key := base
+		key.length = l
+		row, err := eval(fmt.Sprintf("l=%d", l), key)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	addSection("history registers length (XOR, m=k=8, t=4)", rows)
+
+	// Time sharing.
+	rows = nil
+	for _, share := range []bool{false, true} {
+		for _, w := range []int{4, 8} {
+			key := base
+			key.width, key.share = w, share
+			sh := 0
+			if share {
+				sh = 1
+			}
+			row, err := eval(fmt.Sprintf("sh=%d, m=k=%d", sh, w), key)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	addSection("time sharing of history registers (XOR, t=4, l=8, epoch=1000)", rows)
+
+	return res, nil
+}
+
+func mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}
+
+func (r *Table1Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Table I — DDOS sensitivity to design parameters (averaged over the benchmark suite)\n\n")
+	for _, name := range r.Order {
+		fmt.Fprintf(&sb, "· Sensitivity to %s\n", name)
+		t := &table{header: []string{"config", "avg TSDR", "avg DPR (true)", "avg FSDR", "avg DPR (false)"}}
+		for _, row := range r.Sections[name] {
+			t.add(row.Label, f3(row.TSDR), f3(row.TrueDPR), f3(row.FSDR), f3(row.FalseDPR))
+		}
+		sb.WriteString(t.String())
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("paper: TSDR=1 for all XOR configs; FSDR=0 at XOR m=k=8; MODULO false-detects (0.17/0.104 at 4/8 bits);\n")
+	sb.WriteString("       higher thresholds trade detection delay for fewer false positives; l≥8 needed for full TSDR;\n")
+	sb.WriteString("       time sharing reduces TSDR to 0.642 and lengthens the detection phase\n")
+	return sb.String()
+}

@@ -1,0 +1,86 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Disasm renders one instruction in a PTX-flavoured syntax.
+func Disasm(in *Instr) string {
+	var sb strings.Builder
+	if in.Guarded() {
+		if in.GuardNeg {
+			sb.WriteString(fmt.Sprintf("@!%%p%d ", in.Guard))
+		} else {
+			sb.WriteString(fmt.Sprintf("@%%p%d ", in.Guard))
+		}
+	}
+	switch in.Op {
+	case OpNop, OpExit, OpBar, OpMembar:
+		sb.WriteString(in.Op.String())
+	case OpMov:
+		fmt.Fprintf(&sb, "mov %%r%d, %s", in.Dst, in.A)
+	case OpSetp:
+		fmt.Fprintf(&sb, "setp.%s %%p%d, %s, %s", in.Cmp, in.PDst, in.A, in.B)
+	case OpSelp:
+		fmt.Fprintf(&sb, "selp %%r%d, %s, %s, %%p%d", in.Dst, in.A, in.B, in.PSrc)
+	case OpBra:
+		fmt.Fprintf(&sb, "bra %d", in.Target)
+		if in.Reconv != NoReconv {
+			fmt.Fprintf(&sb, " (reconv %d)", in.Reconv)
+		}
+	case OpLd:
+		fmt.Fprintf(&sb, "ld.global %%r%d, [%s+%s]", in.Dst, in.A, in.B)
+	case OpSt:
+		fmt.Fprintf(&sb, "st.global [%s+%s], %s", in.A, in.B, in.C)
+	case OpAtomCAS:
+		fmt.Fprintf(&sb, "atom.cas %%r%d, [%s+%s], %s, %s", in.Dst, in.A, in.B, in.C, in.D)
+	case OpAtomExch:
+		fmt.Fprintf(&sb, "atom.exch %%r%d, [%s+%s], %s", in.Dst, in.A, in.B, in.C)
+	case OpAtomAdd:
+		fmt.Fprintf(&sb, "atom.add %%r%d, [%s+%s], %s", in.Dst, in.A, in.B, in.C)
+	case OpAtomMax:
+		fmt.Fprintf(&sb, "atom.max %%r%d, [%s+%s], %s", in.Dst, in.A, in.B, in.C)
+	case OpLdParam:
+		fmt.Fprintf(&sb, "ld.param %%r%d, [param%d]", in.Dst, in.Param)
+	default:
+		fmt.Fprintf(&sb, "%s %%r%d, %s, %s", in.Op, in.Dst, in.A, in.B)
+	}
+	var anns []string
+	for _, a := range [...]struct {
+		bit  Ann
+		name string
+	}{
+		{AnnSIB, "SIB"}, {AnnLockAcquire, "acquire"}, {AnnLockRelease, "release"},
+		{AnnWaitCheck, "waitcheck"}, {AnnSync, "sync"},
+	} {
+		if in.HasAnn(a.bit) {
+			anns = append(anns, a.name)
+		}
+	}
+	if len(anns) > 0 {
+		fmt.Fprintf(&sb, "  ; %s", strings.Join(anns, ","))
+	}
+	return sb.String()
+}
+
+// Listing renders the full program with PCs and label markers.
+func (p *Program) Listing() string {
+	byPC := make(map[int32][]string)
+	for name, pc := range p.Labels {
+		byPC[pc] = append(byPC[pc], name)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// kernel %s (%d instructions)\n", p.Name, len(p.Code))
+	for pc := range p.Code {
+		if names := byPC[int32(pc)]; len(names) > 0 {
+			sort.Strings(names)
+			for _, n := range names {
+				fmt.Fprintf(&sb, "%s:\n", n)
+			}
+		}
+		fmt.Fprintf(&sb, "  %04d: %s\n", pc, Disasm(&p.Code[pc]))
+	}
+	return sb.String()
+}

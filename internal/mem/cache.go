@@ -1,0 +1,91 @@
+package mem
+
+// cache is a set-associative tag array with LRU replacement. It tracks
+// tags only; data always lives in the functional word store, which is
+// valid because the simulator is single-clock and transactions commit
+// their functional effects at service time.
+type cache struct {
+	sets  int
+	assoc int
+	tags  []uint32 // sets*assoc entries; line index stored directly
+	valid []bool
+	lru   []int64 // last-touch stamp
+	stamp int64
+}
+
+// newCache builds a cache of capacityKB kilobytes with 128-byte lines.
+func newCache(capacityKB, assoc int) *cache {
+	lines := capacityKB * 1024 / 128
+	if lines < assoc {
+		lines = assoc
+	}
+	sets := lines / assoc
+	if sets < 1 {
+		sets = 1
+	}
+	return &cache{
+		sets:  sets,
+		assoc: assoc,
+		tags:  make([]uint32, sets*assoc),
+		valid: make([]bool, sets*assoc),
+		lru:   make([]int64, sets*assoc),
+	}
+}
+
+func (c *cache) way(line uint32) (int, bool) {
+	set := int(line) % c.sets
+	base := set * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			return base + w, true
+		}
+	}
+	return base, false
+}
+
+// Lookup probes for line and updates LRU on hit.
+func (c *cache) Lookup(line uint32) bool {
+	idx, hit := c.way(line)
+	if hit {
+		c.stamp++
+		c.lru[idx] = c.stamp
+	}
+	return hit
+}
+
+// Contains probes without touching LRU state.
+func (c *cache) Contains(line uint32) bool {
+	_, hit := c.way(line)
+	return hit
+}
+
+// Fill inserts line, evicting the LRU way of its set.
+func (c *cache) Fill(line uint32) {
+	idx, hit := c.way(line)
+	c.stamp++
+	if hit {
+		c.lru[idx] = c.stamp
+		return
+	}
+	base := idx // way() returned the set base on miss
+	victim := base
+	for w := 0; w < c.assoc; w++ {
+		if !c.valid[base+w] {
+			victim = base + w
+			break
+		}
+		if c.lru[base+w] < c.lru[victim] {
+			victim = base + w
+		}
+	}
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.lru[victim] = c.stamp
+}
+
+// Invalidate drops line if present (write-evict / atomic bypass).
+func (c *cache) Invalidate(line uint32) {
+	if idx, hit := c.way(line); hit {
+		c.valid[idx] = false
+	}
+}

@@ -1,0 +1,614 @@
+// Package mem models the GPU memory hierarchy the paper's effects depend
+// on: per-SM L1 data caches (write-evict, no write-allocate), a shared
+// banked L2, a DRAM bandwidth/latency model, a warp-level coalescer
+// producing 128-byte segment transactions, and an L2 atomic unit that
+// serializes read-modify-write operations per cache line — the reason
+// failed lock-acquire retries consume memory bandwidth (paper §II).
+//
+// The package is also the functional memory: transactions commit their
+// loads, stores and atomics against the word store at service time, so
+// inter-warp interleaving of atomics follows simulated time. Lock
+// ownership is tracked for annotated acquire/release operations to
+// classify failed acquires as intra- vs inter-warp (Fig. 2).
+package mem
+
+import (
+	"container/heap"
+	"fmt"
+
+	"warpsched/internal/config"
+	"warpsched/internal/isa"
+	"warpsched/internal/stats"
+)
+
+// Access is one lane's memory access within a warp instruction.
+type Access struct {
+	Lane int
+	Addr uint32
+	// V1 is the store value / atomic operand (CAS compare).
+	V1 uint32
+	// V2 is the CAS swap value.
+	V2 uint32
+	// Result receives the loaded / atomic-returned value.
+	Result uint32
+	// GTID is the lane's global thread id (for lock-owner tracking).
+	GTID int32
+}
+
+// Request is one warp memory instruction in flight.
+type Request struct {
+	SM       int
+	WarpSlot int
+	Op       isa.Op
+	Ann      isa.Ann
+	// Vol marks a volatile (L1-bypassing) load.
+	Vol      bool
+	Accesses []Access
+	// Done is invoked exactly once when every segment has been serviced;
+	// Accesses[i].Result fields are valid by then.
+	Done func(*Request)
+
+	remaining int
+	// Queue-lock bookkeeping (QueueLocks mode): a request either acquires
+	// locks (and never parks) or parks exactly one lane (and never
+	// holds) — any other combination could block a warp while it holds a
+	// lock and deadlock the queues, the races HQL papers over with NACKs.
+	qlAcquired bool
+	qlParked   bool
+}
+
+// segment is one coalesced 128-byte transaction.
+type segment struct {
+	req   *Request
+	line  uint32
+	lanes []int // indexes into req.Accesses
+	// parked counts lanes waiting in a lock queue (QueueLocks mode);
+	// the segment completes only when every parked lane is granted.
+	parked int
+}
+
+// event is a scheduled completion.
+type event struct {
+	at  int64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() (int64, bool) {
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[0].at, true
+}
+
+// System is the shared memory system: functional store, L2, DRAM, atomic
+// unit, and one port per SM.
+type System struct {
+	cfg   config.Memory
+	words []uint32
+	ports []*Port
+
+	l2        *cache
+	l2Queue   []*segment
+	dramQueue []*segment
+	events    eventHeap
+	seq       int64
+	cycle     int64
+
+	// atomBusy serializes atomics per line at the L2 atomic unit.
+	atomBusy map[uint32]int64
+	// arbLFSR drives the rotating L2 service arbitration (see Tick).
+	arbLFSR uint32
+	// l2Tokens throttles L2 bank throughput: a plain access costs one
+	// token, an atomic costs AtomLat tokens (the read-modify-write
+	// occupies the bank's atomic ALU), so spin-loop CAS spam steals
+	// bandwidth from all other traffic — the paper's §II observation.
+	l2Tokens int64
+
+	// lockOwner maps a lock word address to the global thread id of the
+	// current holder (annotated acquires/releases only).
+	lockOwner map[uint32]int32
+	// lockQueues holds parked acquires per lock word (QueueLocks mode).
+	lockQueues map[uint32][]lockWaiter
+	// warpHolds counts tracked locks held per global warp id: a warp
+	// that holds a lock is never parked (it gets a NACK-style failure
+	// and retries), because parking blocks the whole warp and a blocked
+	// holder would deadlock the queue — the race HQL resolves with
+	// negative acknowledgements.
+	warpHolds map[int32]int
+}
+
+// lockWaiter is one parked lock acquire: the segment and the index of
+// the waiting lane within its request.
+type lockWaiter struct {
+	seg *segment
+	li  int
+}
+
+// Port is an SM's private memory-side interface: L1 cache, load/store
+// queue and MSHRs.
+type Port struct {
+	sys *System
+	sm  int
+	l1  *cache
+
+	lsq []*segment // segments awaiting injection, FIFO
+	// mshr maps line -> segments merged on an outstanding miss.
+	mshr map[uint32][]*segment
+	// outstanding counts in-flight memory instructions per warp slot
+	// (for membar draining and per-warp issue limits).
+	outstanding []int
+
+	stats *stats.Mem
+	// sync receives lock-acquire outcome classifications (Fig. 2); set
+	// via AttachSync.
+	sync *stats.SyncEvents
+}
+
+// AttachSync points SM sm's port at the engine's synchronization-event
+// counters so the atomic unit can classify acquire outcomes at service
+// time (when the lock-owner table is current).
+func (s *System) AttachSync(sm int, ev *stats.SyncEvents) { s.ports[sm].sync = ev }
+
+// NewSystem creates the memory system with the given word capacity.
+func NewSystem(cfg config.Memory, numSMs, warpsPerSM int, sizeWords int) *System {
+	s := &System{
+		cfg:        cfg,
+		words:      make([]uint32, sizeWords),
+		l2:         newCache(cfg.L2KB, cfg.L2Assoc),
+		atomBusy:   make(map[uint32]int64),
+		lockOwner:  make(map[uint32]int32),
+		lockQueues: make(map[uint32][]lockWaiter),
+		warpHolds:  make(map[int32]int),
+	}
+	s.ports = make([]*Port, numSMs)
+	for i := range s.ports {
+		s.ports[i] = &Port{
+			sys:         s,
+			sm:          i,
+			l1:          newCache(cfg.L1KB, cfg.L1Assoc),
+			mshr:        make(map[uint32][]*segment),
+			outstanding: make([]int, warpsPerSM),
+			stats:       &stats.Mem{},
+		}
+	}
+	return s
+}
+
+// Port returns SM sm's port.
+func (s *System) Port(sm int) *Port { return s.ports[sm] }
+
+// Size returns the functional store capacity in words.
+func (s *System) Size() int { return len(s.words) }
+
+// Read returns the word at addr (functional access, no timing).
+func (s *System) Read(addr uint32) uint32 {
+	s.check(addr)
+	return s.words[addr]
+}
+
+// Write sets the word at addr (functional access, no timing).
+func (s *System) Write(addr uint32, v uint32) {
+	s.check(addr)
+	s.words[addr] = v
+}
+
+// Words exposes the backing store for bulk kernel setup/verification.
+func (s *System) Words() []uint32 { return s.words }
+
+func (s *System) check(addr uint32) {
+	if int(addr) >= len(s.words) {
+		panic(fmt.Sprintf("mem: address %d out of range (size %d words)", addr, len(s.words)))
+	}
+}
+
+func (s *System) schedule(at int64, fn func()) {
+	s.seq++
+	heap.Push(&s.events, event{at: at, seq: s.seq, fn: fn})
+}
+
+// Stats returns the per-SM memory counters for SM sm.
+func (s *System) Stats(sm int) *stats.Mem { return s.ports[sm].stats }
+
+// LockOwner returns the tracked holder of the lock word at addr, or -1.
+func (s *System) LockOwner(addr uint32) int32 {
+	if o, ok := s.lockOwner[addr]; ok {
+		return o
+	}
+	return -1
+}
+
+// --- port-side API used by the SM pipeline ---
+
+// CanAccept reports whether the port can take another warp memory
+// instruction (LSQ space for its segments).
+func (p *Port) CanAccept(nSegments int) bool {
+	return len(p.lsq)+nSegments <= p.sys.cfg.LSQDepth
+}
+
+// Outstanding returns in-flight memory instructions for a warp slot.
+func (p *Port) Outstanding(warpSlot int) int { return p.outstanding[warpSlot] }
+
+// Coalesce groups the request's lane accesses into 128-byte segments,
+// returning the segment count without enqueuing (used for LSQ admission
+// checks).
+func Coalesce(accesses []Access) int {
+	seen := make(map[uint32]struct{}, 4)
+	for i := range accesses {
+		seen[accesses[i].Addr/isa.LineWords] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Enqueue accepts a warp memory instruction. The caller must have checked
+// CanAccept with the segment count from Coalesce.
+func (p *Port) Enqueue(r *Request) {
+	if len(r.Accesses) == 0 {
+		// Fully predicated-off memory instruction: complete immediately.
+		if r.Done != nil {
+			r.Done(r)
+		}
+		return
+	}
+	// Coalesce preserving lane order within each segment.
+	order := make([]uint32, 0, 4)
+	byLine := make(map[uint32][]int, 4)
+	for i := range r.Accesses {
+		line := r.Accesses[i].Addr / isa.LineWords
+		if _, ok := byLine[line]; !ok {
+			order = append(order, line)
+		}
+		byLine[line] = append(byLine[line], i)
+	}
+	r.remaining = len(order)
+	p.outstanding[r.WarpSlot]++
+	for _, line := range order {
+		p.lsq = append(p.lsq, &segment{req: r, line: line, lanes: byLine[line]})
+		p.stats.Transactions++
+		if r.Ann&isa.AnnSync != 0 {
+			p.stats.SyncTransactions++
+		}
+	}
+}
+
+// --- cycle advance ---
+
+// Tick advances the memory system to cycle: completes due events,
+// services L2 and DRAM queues, and injects one LSQ segment per SM port.
+func (s *System) Tick(cycle int64) {
+	s.cycle = cycle
+	// 1. Fire due completions.
+	for {
+		at, ok := s.events.Peek()
+		if !ok || at > cycle {
+			break
+		}
+		e := heap.Pop(&s.events).(event)
+		e.fn()
+	}
+	// 2. Service the DRAM queue (bandwidth limited).
+	n := s.cfg.DRAMBw
+	for n > 0 && len(s.dramQueue) > 0 {
+		seg := s.dramQueue[0]
+		s.dramQueue = s.dramQueue[1:]
+		n--
+		s.ports[seg.req.SM].stats.DRAMAccesses++
+		s.schedule(cycle+s.cfg.DRAMLat, func() { s.dramDone(seg) })
+	}
+	// 3. Service the L2 queue (banked; atomics serialized per line and
+	// charged AtomLat bank tokens).
+	s.l2Tokens += int64(s.cfg.L2Banks)
+	if s.l2Tokens > 4*int64(s.cfg.L2Banks) {
+		s.l2Tokens = 4 * int64(s.cfg.L2Banks)
+	}
+	// The scan start rotates pseudo-randomly across cycles. A strictly
+	// FIFO pick would make every transaction's queueing delay identical
+	// round after round, letting symmetrically conflicting lock retries
+	// (nested try-locks in ATM/DS) re-collide forever — a determinism
+	// artifact real interconnect/DRAM arbitration does not have.
+	if n := len(s.l2Queue); n > 0 {
+		s.arbLFSR = s.arbLFSR*1103515245 + 12345
+		start := int(s.arbLFSR>>16) % n
+		scanned := 0
+		for i := start; scanned < len(s.l2Queue) && s.l2Tokens > 0; scanned++ {
+			if i >= len(s.l2Queue) {
+				i = 0
+			}
+			seg := s.l2Queue[i]
+			cost := int64(1)
+			if seg.req.Op.IsAtomic() {
+				if busy, ok := s.atomBusy[seg.line]; ok && busy > cycle {
+					i++ // line's atomic slot occupied; leave queued
+					continue
+				}
+				cost = s.cfg.AtomCost
+				s.atomBusy[seg.line] = cycle + s.cfg.AtomLat
+			}
+			s.l2Queue = append(s.l2Queue[:i], s.l2Queue[i+1:]...)
+			s.l2Tokens -= cost
+			s.serviceL2(seg)
+		}
+	}
+	// 4. Inject one segment per SM port.
+	for _, p := range s.ports {
+		p.inject()
+	}
+	// Opportunistically trim the atomic-busy map.
+	if len(s.atomBusy) > 64 {
+		for line, busy := range s.atomBusy {
+			if busy <= cycle {
+				delete(s.atomBusy, line)
+			}
+		}
+	}
+}
+
+// Quiescent reports whether no transactions are in flight anywhere.
+func (s *System) Quiescent() bool {
+	if len(s.events) > 0 || len(s.l2Queue) > 0 || len(s.dramQueue) > 0 || len(s.lockQueues) > 0 {
+		return false
+	}
+	for _, p := range s.ports {
+		if len(p.lsq) > 0 || len(p.mshr) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Port) inject() {
+	if len(p.lsq) == 0 {
+		return
+	}
+	seg := p.lsq[0]
+	s := p.sys
+	switch {
+	case seg.req.Op.IsAtomic():
+		// Atomics bypass (and invalidate) L1 and go to the L2 atomic unit.
+		p.l1.Invalidate(seg.line)
+		p.stats.AtomicOps++
+		s.l2Queue = append(s.l2Queue, seg)
+	case seg.req.Op == isa.OpSt:
+		// Write-through, no write-allocate: evict from L1, send to L2.
+		p.l1.Invalidate(seg.line)
+		p.stats.L1Accesses++
+		s.l2Queue = append(s.l2Queue, seg)
+	case seg.req.Vol:
+		// Volatile load: bypass and invalidate the non-coherent L1.
+		p.l1.Invalidate(seg.line)
+		s.l2Queue = append(s.l2Queue, seg)
+	default: // load
+		p.stats.L1Accesses++
+		if p.l1.Lookup(seg.line) {
+			p.stats.L1Hits++
+			s.schedule(s.cycle+s.cfg.L1HitLat, func() {
+				s.applyLoads(seg)
+				s.finish(seg)
+			})
+		} else {
+			if waiting, ok := p.mshr[seg.line]; ok {
+				// Merge with the outstanding miss.
+				p.mshr[seg.line] = append(waiting, seg)
+			} else {
+				if len(p.mshr) >= s.cfg.L1MSHRs {
+					return // no MSHR free: stall injection this cycle
+				}
+				p.mshr[seg.line] = []*segment{seg}
+				s.l2Queue = append(s.l2Queue, seg)
+			}
+		}
+	}
+	p.lsq = p.lsq[1:]
+}
+
+func (s *System) serviceL2(seg *segment) {
+	p := s.ports[seg.req.SM]
+	switch {
+	case seg.req.Op.IsAtomic():
+		p.stats.L2Accesses++
+		s.l2.Fill(seg.line)
+		// The atomic executes here, at its position in simulated time.
+		s.applyAtomics(seg)
+		if seg.parked > 0 {
+			break // completes via grantNext when the lock is released
+		}
+		s.schedule(s.cycle+s.cfg.L2Lat, func() { s.finish(seg) })
+	case seg.req.Op == isa.OpSt:
+		p.stats.L2Accesses++
+		s.l2.Fill(seg.line)
+		s.applyStores(seg)
+		s.schedule(s.cycle+s.cfg.L2Lat, func() { s.finish(seg) })
+	default: // load (L1 miss or volatile)
+		p.stats.L2Accesses++
+		if s.l2.Lookup(seg.line) {
+			p.stats.L2Hits++
+			if seg.req.Vol {
+				s.schedule(s.cycle+s.cfg.L2Lat, func() { s.volFilled(seg) })
+			} else {
+				s.schedule(s.cycle+s.cfg.L2Lat, func() { s.loadFilled(seg) })
+			}
+		} else {
+			s.dramQueue = append(s.dramQueue, seg)
+		}
+	}
+}
+
+func (s *System) dramDone(seg *segment) {
+	s.l2.Fill(seg.line)
+	if seg.req.Vol {
+		s.volFilled(seg)
+		return
+	}
+	s.loadFilled(seg)
+}
+
+// volFilled completes a volatile load without touching L1 or MSHRs.
+func (s *System) volFilled(seg *segment) {
+	s.applyLoads(seg)
+	s.finish(seg)
+}
+
+// loadFilled commits a load fill: fill L1, read data for every merged
+// segment, release the MSHR.
+func (s *System) loadFilled(seg *segment) {
+	p := s.ports[seg.req.SM]
+	p.l1.Fill(seg.line)
+	merged := p.mshr[seg.line]
+	delete(p.mshr, seg.line)
+	if merged == nil {
+		merged = []*segment{seg}
+	}
+	for _, m := range merged {
+		s.applyLoads(m)
+		s.finish(m)
+	}
+}
+
+func (s *System) applyLoads(seg *segment) {
+	for _, li := range seg.lanes {
+		a := &seg.req.Accesses[li]
+		a.Result = s.Read(a.Addr)
+	}
+}
+
+func (s *System) applyStores(seg *segment) {
+	for _, li := range seg.lanes {
+		a := &seg.req.Accesses[li]
+		s.Write(a.Addr, a.V1)
+		if seg.req.Ann&isa.AnnLockRelease != 0 {
+			s.releaseOwner(a.Addr)
+			s.grantNext(a.Addr)
+		}
+	}
+}
+
+// releaseOwner clears ownership tracking for the lock word at addr.
+func (s *System) releaseOwner(addr uint32) {
+	if owner, ok := s.lockOwner[addr]; ok {
+		delete(s.lockOwner, addr)
+		if n := s.warpHolds[owner/32]; n > 1 {
+			s.warpHolds[owner/32] = n - 1
+		} else {
+			delete(s.warpHolds, owner/32)
+		}
+	}
+}
+
+// grantNext hands a just-released lock to the oldest parked acquirer
+// (QueueLocks mode): the parked CAS completes as if it had observed the
+// free lock. Requires the release-to-zero mutex convention (the grant
+// replays cmp/swap of the parked access).
+func (s *System) grantNext(addr uint32) {
+	q := s.lockQueues[addr]
+	if len(q) == 0 {
+		return
+	}
+	w := q[0]
+	if len(q) == 1 {
+		delete(s.lockQueues, addr)
+	} else {
+		s.lockQueues[addr] = q[1:]
+	}
+	a := &w.seg.req.Accesses[w.li]
+	s.Write(a.Addr, a.V2)
+	s.lockOwner[a.Addr] = a.GTID
+	s.warpHolds[a.GTID/32]++
+	a.Result = a.V1 // the CAS observes the free value: success
+	if sync := s.ports[w.seg.req.SM].sync; sync != nil {
+		sync.LockSuccess++
+	}
+	w.seg.parked--
+	if w.seg.parked == 0 {
+		seg := w.seg
+		s.schedule(s.cycle+s.cfg.L2Lat, func() { s.finish(seg) })
+	}
+}
+
+// applyAtomics performs the read-modify-write for every lane of the
+// segment in lane order — the intra-warp serialization order of real
+// hardware — and maintains lock-owner tracking for annotated operations.
+func (s *System) applyAtomics(seg *segment) {
+	r := seg.req
+	sync := s.ports[r.SM].sync
+	for _, li := range seg.lanes {
+		a := &r.Accesses[li]
+		old := s.Read(a.Addr)
+		a.Result = old
+		switch r.Op {
+		case isa.OpAtomCAS:
+			if old == a.V1 {
+				if s.cfg.QueueLocks && r.Ann&isa.AnnLockAcquire != 0 && r.qlParked {
+					// The request already parked a lane: taking a lock now
+					// would block a holder. NACK instead (lane retries).
+					a.Result = a.V2
+					continue
+				}
+				s.Write(a.Addr, a.V2)
+				if r.Ann&isa.AnnLockAcquire != 0 {
+					s.lockOwner[a.Addr] = a.GTID
+					s.warpHolds[a.GTID/32]++
+					r.qlAcquired = true
+					if sync != nil {
+						sync.LockSuccess++
+					}
+				}
+			} else if r.Ann&isa.AnnLockAcquire != 0 {
+				if s.cfg.QueueLocks && s.warpHolds[a.GTID/32] == 0 && !r.qlAcquired && !r.qlParked {
+					// Idealized blocking lock (HQL-style): park the lane;
+					// it is granted, in FIFO order, when the holder
+					// releases — the acquire never retries.
+					s.lockQueues[a.Addr] = append(s.lockQueues[a.Addr], lockWaiter{seg: seg, li: li})
+					seg.parked++
+					r.qlParked = true
+					continue
+				}
+				if sync != nil {
+					// Failed acquire: classify by the holder's warp.
+					if owner, ok := s.lockOwner[a.Addr]; ok && owner/32 == a.GTID/32 {
+						sync.IntraWarpFail++
+					} else {
+						sync.InterWarpFail++
+					}
+				}
+			}
+		case isa.OpAtomExch:
+			s.Write(a.Addr, a.V1)
+			if r.Ann&isa.AnnLockRelease != 0 {
+				s.releaseOwner(a.Addr)
+				if sync != nil {
+					sync.LockRelease++
+				}
+				s.grantNext(a.Addr)
+			}
+		case isa.OpAtomAdd:
+			s.Write(a.Addr, old+a.V1)
+		case isa.OpAtomMax:
+			if int32(a.V1) > int32(old) {
+				s.Write(a.Addr, a.V1)
+			}
+		}
+	}
+}
+
+func (s *System) finish(seg *segment) {
+	r := seg.req
+	r.remaining--
+	if r.remaining == 0 {
+		s.ports[r.SM].outstanding[r.WarpSlot]--
+		if r.Done != nil {
+			r.Done(r)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package sched implements the baseline warp scheduling policies the
+// paper evaluates BOWS against: Loose Round-Robin (LRR), Greedy-Then-
+// Oldest (GTO, Rogers et al.) with the paper's periodic age rotation, and
+// Criticality-Aware Warp Acceleration (CAWA, Lee et al.).
+//
+// A Policy instance owns the warp slots of one scheduler unit within an
+// SM (warps are statically partitioned among schedulers). Each cycle the
+// SM pipeline calls Pick with a readiness predicate; the policy returns
+// the slot to issue from or -1. BOWS (internal/core) wraps any Policy.
+package sched
+
+import (
+	"fmt"
+
+	"warpsched/internal/config"
+)
+
+// WarpMetrics is per-warp run-time accounting shared between the SM
+// pipeline (writer) and policies such as CAWA (reader).
+type WarpMetrics struct {
+	// Issued counts instructions issued by the warp.
+	Issued int64
+	// ResidentCycles counts cycles the warp was resident and unfinished.
+	ResidentCycles int64
+	// StallCycles counts resident cycles where the warp could not issue
+	// (CAWA's nStall).
+	StallCycles int64
+	// EstRemaining is CAWA's dynamic remaining-instruction estimate
+	// (nInst), updated from branch directions.
+	EstRemaining int64
+	// Resident marks the slot as holding a live warp.
+	Resident bool
+}
+
+// CPIAvg returns the warp's average cycles per issued instruction.
+func (m *WarpMetrics) CPIAvg() float64 {
+	if m.Issued == 0 {
+		return 1
+	}
+	return float64(m.ResidentCycles) / float64(m.Issued)
+}
+
+// Policy selects which warp a scheduler unit issues from each cycle.
+type Policy interface {
+	Name() string
+	// Pick returns the slot (SM-wide index) to issue from among this
+	// unit's slots for which ready(slot) is true, or -1 if none.
+	Pick(cycle int64, ready func(slot int) bool) int
+	// OnIssue informs the policy that slot issued at cycle.
+	OnIssue(slot int, cycle int64)
+	// OnBranch informs the policy of a branch outcome (CAWA's
+	// direction-based remaining-instruction estimate).
+	OnBranch(slot int, backwardTaken bool)
+}
+
+// New builds a baseline policy of the given kind for a scheduler unit
+// owning slots (SM-wide warp slot indexes). metrics is the SM-wide
+// per-slot metrics table. rotatePeriod applies to GTO age rotation.
+func New(kind config.SchedulerKind, slots []int, metrics []WarpMetrics, rotatePeriod int64) (Policy, error) {
+	switch kind {
+	case config.LRR:
+		return NewLRR(slots), nil
+	case config.GTO:
+		return NewGTO(slots, rotatePeriod), nil
+	case config.CAWA:
+		return NewCAWA(slots, metrics), nil
+	default:
+		return nil, fmt.Errorf("sched: unknown scheduler kind %q", kind)
+	}
+}
+
+// LRR is loose round-robin: scheduling starts from the warp after the
+// last issued one, taking the first ready warp.
+type LRR struct {
+	slots []int
+	next  int // index into slots to start the scan from
+}
+
+// NewLRR returns an LRR policy over slots.
+func NewLRR(slots []int) *LRR { return &LRR{slots: slots} }
+
+// Name implements Policy.
+func (l *LRR) Name() string { return string(config.LRR) }
+
+// Pick implements Policy.
+func (l *LRR) Pick(_ int64, ready func(int) bool) int {
+	n := len(l.slots)
+	for i := 0; i < n; i++ {
+		s := l.slots[(l.next+i)%n]
+		if ready(s) {
+			return s
+		}
+	}
+	return -1
+}
+
+// OnIssue implements Policy.
+func (l *LRR) OnIssue(slot int, _ int64) {
+	for i, s := range l.slots {
+		if s == slot {
+			l.next = (i + 1) % len(l.slots)
+			return
+		}
+	}
+}
+
+// OnBranch implements Policy.
+func (l *LRR) OnBranch(int, bool) {}
+
+// GTO is greedy-then-oldest: keep issuing from the last warp until it
+// stalls, then fall back to the oldest ready warp (lowest slot). Strict
+// GTO can livelock busy-wait kernels (paper §IV-C observed this on HT and
+// ATM), so the age order rotates every rotatePeriod cycles.
+type GTO struct {
+	slots        []int
+	last         int // last issued slot, -1 if none
+	rotatePeriod int64
+	rot          int
+}
+
+// NewGTO returns a GTO policy over slots.
+func NewGTO(slots []int, rotatePeriod int64) *GTO {
+	return &GTO{slots: slots, last: -1, rotatePeriod: rotatePeriod}
+}
+
+// Name implements Policy.
+func (g *GTO) Name() string { return string(config.GTO) }
+
+// Pick implements Policy.
+func (g *GTO) Pick(cycle int64, ready func(int) bool) int {
+	if g.rotatePeriod > 0 {
+		g.rot = int(cycle/g.rotatePeriod) % len(g.slots)
+	}
+	if g.last >= 0 && ready(g.last) {
+		return g.last
+	}
+	n := len(g.slots)
+	for i := 0; i < n; i++ {
+		s := g.slots[(i+g.rot)%n]
+		if ready(s) {
+			return s
+		}
+	}
+	return -1
+}
+
+// OnIssue implements Policy.
+func (g *GTO) OnIssue(slot int, _ int64) { g.last = slot }
+
+// OnBranch implements Policy.
+func (g *GTO) OnBranch(int, bool) {}
+
+// CAWA estimates warp criticality as nInst × CPIavg + nStall (paper §II)
+// and prioritizes the most critical ready warp. nInst is a remaining-
+// instruction estimate driven by branch directions: a taken backward
+// branch predicts another loop iteration's worth of instructions. This
+// reproduces the pathology the paper identifies: spinning warps keep
+// taking backward branches and accumulating stall cycles, so CAWA keeps
+// prioritizing them.
+type CAWA struct {
+	slots   []int
+	metrics []WarpMetrics
+	last    int
+}
+
+// LoopEstimate is the instruction-count increment charged per taken
+// backward branch (one predicted loop iteration).
+const LoopEstimate = 16
+
+// NewCAWA returns a CAWA policy over slots reading the SM-wide metrics
+// table.
+func NewCAWA(slots []int, metrics []WarpMetrics) *CAWA {
+	return &CAWA{slots: slots, metrics: metrics, last: -1}
+}
+
+// Name implements Policy.
+func (c *CAWA) Name() string { return string(config.CAWA) }
+
+// Criticality returns the CAWA criticality metric for slot.
+func (c *CAWA) Criticality(slot int) float64 {
+	m := &c.metrics[slot]
+	return float64(m.EstRemaining)*m.CPIAvg() + float64(m.StallCycles)
+}
+
+// Pick implements Policy.
+func (c *CAWA) Pick(_ int64, ready func(int) bool) int {
+	best, bestCrit := -1, 0.0
+	for _, s := range c.slots {
+		if !ready(s) {
+			continue
+		}
+		crit := c.Criticality(s)
+		// Ties break toward the last issued warp, then lowest slot.
+		if best == -1 || crit > bestCrit || (crit == bestCrit && s == c.last) {
+			best, bestCrit = s, crit
+		}
+	}
+	return best
+}
+
+// OnIssue implements Policy.
+func (c *CAWA) OnIssue(slot int, _ int64) {
+	c.last = slot
+	if m := &c.metrics[slot]; m.EstRemaining > 0 {
+		m.EstRemaining--
+	}
+}
+
+// OnBranch implements Policy.
+func (c *CAWA) OnBranch(slot int, backwardTaken bool) {
+	if backwardTaken {
+		c.metrics[slot].EstRemaining += LoopEstimate
+	}
+}

@@ -1,0 +1,153 @@
+package sched
+
+import (
+	"testing"
+
+	"warpsched/internal/config"
+)
+
+func readySet(slots ...int) func(int) bool {
+	set := map[int]bool{}
+	for _, s := range slots {
+		set[s] = true
+	}
+	return func(s int) bool { return set[s] }
+}
+
+func TestNewUnknownKind(t *testing.T) {
+	if _, err := New("BOGUS", []int{0}, nil, 0); err == nil {
+		t.Fatal("unknown scheduler kind must error")
+	}
+}
+
+func TestLRRRotation(t *testing.T) {
+	l := NewLRR([]int{0, 1, 2, 3})
+	if got := l.Pick(0, readySet(0, 1, 2, 3)); got != 0 {
+		t.Fatalf("first pick = %d, want 0", got)
+	}
+	l.OnIssue(0, 0)
+	if got := l.Pick(1, readySet(0, 1, 2, 3)); got != 1 {
+		t.Fatalf("after issuing 0, pick = %d, want 1", got)
+	}
+	l.OnIssue(1, 1)
+	// Slot 2 not ready: skip to 3.
+	if got := l.Pick(2, readySet(0, 1, 3)); got != 3 {
+		t.Fatalf("pick = %d, want 3", got)
+	}
+	l.OnIssue(3, 2)
+	if got := l.Pick(3, readySet(0)); got != 0 {
+		t.Fatalf("wraparound pick = %d, want 0", got)
+	}
+	if got := l.Pick(4, readySet()); got != -1 {
+		t.Fatalf("no ready warps should give -1, got %d", got)
+	}
+}
+
+func TestGTOGreedyThenOldest(t *testing.T) {
+	g := NewGTO([]int{0, 1, 2, 3}, 0)
+	if got := g.Pick(0, readySet(1, 2)); got != 1 {
+		t.Fatalf("oldest ready = %d, want 1", got)
+	}
+	g.OnIssue(2, 0)
+	// Greedy: last issued (2) preferred while ready, even over older 1.
+	if got := g.Pick(1, readySet(1, 2)); got != 2 {
+		t.Fatalf("greedy pick = %d, want 2", got)
+	}
+	// When 2 stalls, fall back to the oldest ready.
+	if got := g.Pick(2, readySet(1, 3)); got != 1 {
+		t.Fatalf("fallback pick = %d, want 1", got)
+	}
+}
+
+func TestGTOAgeRotation(t *testing.T) {
+	g := NewGTO([]int{0, 1, 2, 3}, 100)
+	// In the second rotation period the age order starts from slot 1.
+	if got := g.Pick(150, readySet(0, 1, 2, 3)); got != 1 {
+		t.Fatalf("rotated oldest = %d, want 1", got)
+	}
+	if got := g.Pick(250, readySet(0, 1, 2, 3)); got != 2 {
+		t.Fatalf("rotated oldest = %d, want 2", got)
+	}
+	// Rotation wraps around the slot count.
+	if got := g.Pick(450, readySet(0, 1, 2, 3)); got != 0 {
+		t.Fatalf("wrapped rotation = %d, want 0", got)
+	}
+}
+
+func TestCAWAPrioritizesCriticalWarp(t *testing.T) {
+	metrics := make([]WarpMetrics, 4)
+	c := NewCAWA([]int{0, 1, 2, 3}, metrics)
+	// Slot 2: many stalls and high CPI — most critical.
+	metrics[2] = WarpMetrics{Issued: 10, ResidentCycles: 1000, StallCycles: 900, EstRemaining: 50}
+	metrics[1] = WarpMetrics{Issued: 100, ResidentCycles: 200, StallCycles: 50, EstRemaining: 10}
+	if got := c.Pick(0, readySet(1, 2)); got != 2 {
+		t.Fatalf("CAWA pick = %d, want critical slot 2", got)
+	}
+	// If 2 is not ready, take the next most critical.
+	if got := c.Pick(0, readySet(1, 3)); got != 1 {
+		t.Fatalf("CAWA pick = %d, want 1", got)
+	}
+}
+
+func TestCAWABranchGrowsEstimate(t *testing.T) {
+	metrics := make([]WarpMetrics, 2)
+	c := NewCAWA([]int{0, 1}, metrics)
+	before := metrics[0].EstRemaining
+	c.OnBranch(0, true)
+	if metrics[0].EstRemaining != before+LoopEstimate {
+		t.Fatalf("taken backward branch must add %d to nInst", LoopEstimate)
+	}
+	c.OnBranch(0, false)
+	if metrics[0].EstRemaining != before+LoopEstimate {
+		t.Fatal("forward/not-taken branch must not change nInst")
+	}
+	c.OnIssue(0, 0)
+	if metrics[0].EstRemaining != before+LoopEstimate-1 {
+		t.Fatal("issue must decrement nInst")
+	}
+}
+
+func TestCAWASpinningWarpStaysCritical(t *testing.T) {
+	// The paper's observation: a spinning warp keeps taking backward
+	// branches and stalling, so CAWA keeps prioritizing it.
+	metrics := make([]WarpMetrics, 2)
+	c := NewCAWA([]int{0, 1}, metrics)
+	metrics[0].Resident = true
+	metrics[1].Resident = true
+	for i := 0; i < 100; i++ {
+		// Slot 0 spins: issues, stalls, takes backward branches.
+		c.OnIssue(0, int64(i))
+		metrics[0].Issued++
+		metrics[0].ResidentCycles += 10
+		metrics[0].StallCycles += 9
+		c.OnBranch(0, true)
+		// Slot 1 progresses: issues frequently, no backward branches.
+		metrics[1].Issued += 5
+		metrics[1].ResidentCycles += 10
+		metrics[1].StallCycles++
+	}
+	if c.Criticality(0) <= c.Criticality(1) {
+		t.Fatalf("spinning warp criticality %.0f should exceed progressing warp %.0f",
+			c.Criticality(0), c.Criticality(1))
+	}
+}
+
+func TestCPIAvgZeroIssued(t *testing.T) {
+	m := WarpMetrics{}
+	if m.CPIAvg() != 1 {
+		t.Fatal("CPI of a warp with no instructions should default to 1")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	metrics := make([]WarpMetrics, 1)
+	for _, kind := range config.Schedulers {
+		p, err := New(kind, []int{0}, metrics, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != string(kind) {
+			t.Errorf("policy name %q != kind %q", p.Name(), kind)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"testing"
+
+	"warpsched/internal/config"
+	"warpsched/internal/isa"
+)
+
+// TestDebugEngineVecAddTiny runs vecadd on one warp in the engine and
+// inspects the failure seen in TestEngineVecAdd at iteration boundaries.
+func TestDebugEngineVecAddTiny(t *testing.T) {
+	const n = 100 // one warp of 32, stride 32 → 4 iterations
+	launch := Launch{
+		Prog:       vecAddProg(t),
+		GridCTAs:   1,
+		CTAThreads: 32,
+		Params:     []uint32{n, 0, n, 2 * n},
+		MemWords:   3*n + 64,
+		Setup: func(w []uint32) {
+			for i := 0; i < n; i++ {
+				w[i] = uint32(i)
+				w[n+i] = uint32(3 * i)
+			}
+		},
+	}
+	opt := testOptions(config.GTO)
+	opt.GPU = opt.GPU.Scaled(1)
+	eng, err := New(opt, launch)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	bad := 0
+	for i := 0; i < n; i++ {
+		if got, want := res.Memory[2*n+i], uint32(4*i); got != want {
+			if bad < 8 {
+				t.Errorf("c[%d]=%d want %d (a=%d b=%d)", i, got, want, res.Memory[i], res.Memory[n+i])
+			}
+			bad++
+		}
+	}
+	t.Logf("bad=%d cycles=%d warpInstrs=%d l1acc=%d l1hit=%d l2acc=%d",
+		bad, res.Stats.Cycles, res.Stats.WarpInstrs,
+		res.Stats.Mem.L1Accesses, res.Stats.Mem.L1Hits, res.Stats.Mem.L2Accesses)
+	_ = isa.Disasm
+}

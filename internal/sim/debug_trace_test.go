@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"testing"
+
+	"warpsched/internal/isa"
+	"warpsched/internal/simt"
+)
+
+// TestDebugTraceDivergence single-steps one warp functionally to inspect
+// SIMT stack behaviour (development aid; assertions are minimal).
+func TestDebugTraceDivergence(t *testing.T) {
+	p := divergeProg(t)
+	t.Log("\n" + p.Listing())
+	cta := simt.NewCTA(0, 32, 1, 1)
+	w := simt.NewWarp(p, cta, 0, 0, 0, 0, 32)
+	w.Params = []uint32{0}
+	for step := 0; step < 100 && !w.Done; step++ {
+		pc := w.PC()
+		in := w.NextInstr()
+		res := w.Execute(int64(step))
+		t.Logf("step %d pc=%d %-40s eff=%08x taken=%08x", step, pc, isa.Disasm(in), res.EffMask, res.Taken)
+		if in.Op.IsMem() {
+			// Functionally apply loads/stores against nothing; skip.
+		}
+	}
+	if !w.Done {
+		t.Fatalf("warp did not finish")
+	}
+	for lane := 0; lane < 4; lane++ {
+		t.Logf("lane %d r4=%d", lane, w.Reg(lane, 4))
+	}
+}

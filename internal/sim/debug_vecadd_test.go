@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"testing"
+
+	"warpsched/internal/isa"
+	"warpsched/internal/simt"
+)
+
+// TestDebugVecAddFunctional steps one warp through the vecadd program
+// with memory applied immediately, isolating functional bugs from timing.
+func TestDebugVecAddFunctional(t *testing.T) {
+	const n = 100
+	p := vecAddProg(t)
+	words := make([]uint32, 3*n+64)
+	for i := 0; i < n; i++ {
+		words[i] = uint32(i)
+		words[n+i] = uint32(3 * i)
+	}
+	// One CTA of 32 threads, grid of 1 → stride 32.
+	cta := simt.NewCTA(0, 32, 1, 1)
+	w := simt.NewWarp(p, cta, 0, 0, 0, 0, 32)
+	w.Params = []uint32{n, 0, n, 2 * n}
+	for step := 0; step < 5000 && !w.Done; step++ {
+		pc := w.PC()
+		in := w.NextInstr()
+		res := w.Execute(int64(step))
+		for i := range res.Mem {
+			a := &res.Mem[i]
+			switch in.Op {
+			case isa.OpLd:
+				w.SetReg(a.Lane, in.Dst, words[a.Addr])
+			case isa.OpSt:
+				words[a.Addr] = a.V1
+			}
+		}
+		if step < 40 || (pc >= 8 && pc <= 14 && step < 200) {
+			t.Logf("step %d pc=%d %-34s eff=%08x r2L0=%d r5L0=%d", step, pc, isa.Disasm(in), res.EffMask, w.Reg(0, 2), w.Reg(0, 5))
+		}
+	}
+	if !w.Done {
+		t.Fatalf("did not finish")
+	}
+	for i := 0; i < n; i++ {
+		if words[2*n+i] != uint32(4*i) {
+			t.Fatalf("c[%d]=%d want %d", i, words[2*n+i], 4*i)
+		}
+	}
+}

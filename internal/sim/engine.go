@@ -1,0 +1,553 @@
+// Package sim is the cycle-level GPU engine: it instantiates SMs with
+// warp schedulers, a scoreboard, an ALU writeback pipeline and a port
+// into the shared memory system, dispatches CTAs, and advances everything
+// one cycle at a time. It corresponds to the GPGPU-Sim core model the
+// paper's evaluation runs on, with BOWS and DDOS (internal/core) attached
+// at the points Figure 8 shows: DDOS observes setp executions in the
+// execution stage and backward branches at the branch unit; BOWS wraps
+// the per-scheduler arbitration.
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"warpsched/internal/config"
+	"warpsched/internal/core"
+	"warpsched/internal/isa"
+	"warpsched/internal/mem"
+	"warpsched/internal/sched"
+	"warpsched/internal/simt"
+	"warpsched/internal/stats"
+	"warpsched/internal/trace"
+)
+
+// Launch describes one kernel launch.
+type Launch struct {
+	Prog *isa.Program
+	// GridCTAs and CTAThreads define the launch geometry; CTAThreads need
+	// not be a multiple of 32 (the last warp is partial).
+	GridCTAs   int
+	CTAThreads int
+	Params     []uint32
+	// MemWords sizes global memory; Setup initializes it before the run.
+	MemWords int
+	Setup    func(words []uint32)
+}
+
+// Options selects the hardware configuration and scheduling policy.
+type Options struct {
+	GPU   config.GPU
+	Sched config.SchedulerKind
+	BOWS  config.BOWS
+	DDOS  config.DDOS
+	// Profile enables per-PC issue counting (Result.PCProfile), the
+	// instruction heatmap behind `warpsim -profile`.
+	Profile bool
+	// Tracer, when non-nil, receives pipeline events (see internal/trace).
+	Tracer Tracer
+}
+
+// Tracer receives pipeline events during simulation. trace.Ring is the
+// standard implementation.
+type Tracer interface {
+	Record(trace.Event)
+}
+
+// DefaultOptions returns GTX480 + GTO with BOWS disabled.
+func DefaultOptions() Options {
+	return Options{
+		GPU:   config.GTX480(),
+		Sched: config.GTO,
+		BOWS:  config.BOWS{Mode: config.BOWSOff},
+		DDOS:  config.DefaultDDOS(),
+	}
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	// Stats aggregates all SMs; PerSM holds the per-SM breakdown.
+	Stats stats.Sim
+	PerSM []stats.Sim
+	// Detection aggregates DDOS quality over SMs (zero when DDOS is not
+	// instantiated); PerSMDetection is the per-SM view.
+	Detection      core.DetectionMetrics
+	PerSMDetection []core.DetectionMetrics
+	// ConfirmedSIBs is the union of confirmed SIB PCs across SMs.
+	ConfirmedSIBs []int32
+	// MaxSIBPTEntries is the maximum concurrent SIB-PT occupancy seen.
+	MaxSIBPTEntries int
+	// FinalDelayLimits holds each SM's final (adaptive) delay limit.
+	FinalDelayLimits []int64
+	// PCProfile[pc] counts warp instructions issued at pc (Options.Profile).
+	PCProfile []int64
+	// Memory exposes the final memory image for verification.
+	Memory []uint32
+}
+
+type wbItem struct {
+	slot   int
+	isPred bool
+	idx    uint8
+}
+
+type ctaRec struct {
+	cta   *simt.CTA
+	slots []int
+	done  bool
+}
+
+type smUnit struct {
+	policy  sched.Policy
+	wrapped *core.Wrapped // non-nil when BOWS is on
+	slots   []int
+}
+
+type smState struct {
+	id  int
+	eng *Engine
+
+	warps    []*simt.Warp
+	metrics  []sched.WarpMetrics
+	regPend  []bool // slots * NumRegs
+	predPend []bool // slots * NumPreds
+
+	wbRing [][]wbItem
+	units  []*smUnit
+
+	ddos *core.DDOS
+	bows *core.BOWS
+
+	ctas      []*ctaRec
+	freeSlots []int
+	resident  int
+
+	issuedThisCycle []bool
+	st              stats.Sim
+	maxSIBPT        int
+	pcCounts        []int64 // per-PC issue counts (Options.Profile)
+}
+
+// Engine runs one kernel launch to completion.
+type Engine struct {
+	opt    Options
+	launch Launch
+	sys    *mem.System
+	sms    []*smState
+	cycle  int64
+
+	nextCTA   int
+	totalCTAs int
+	ctasDone  int
+}
+
+// New builds an engine for the launch. It validates configuration and
+// program.
+func New(opt Options, launch Launch) (*Engine, error) {
+	if err := opt.GPU.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.BOWS.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.DDOS.Validate(); err != nil {
+		return nil, err
+	}
+	if launch.Prog == nil {
+		return nil, fmt.Errorf("sim: launch has no program")
+	}
+	if err := launch.Prog.Validate(); err != nil {
+		return nil, err
+	}
+	if launch.GridCTAs <= 0 || launch.CTAThreads <= 0 {
+		return nil, fmt.Errorf("sim: launch geometry must be positive (%d CTAs × %d threads)",
+			launch.GridCTAs, launch.CTAThreads)
+	}
+	warpsPerCTA := (launch.CTAThreads + 31) / 32
+	if warpsPerCTA > opt.GPU.WarpsPerSM {
+		return nil, fmt.Errorf("sim: CTA of %d threads needs %d warp slots but SM has %d",
+			launch.CTAThreads, warpsPerCTA, opt.GPU.WarpsPerSM)
+	}
+	if launch.MemWords <= 0 {
+		return nil, fmt.Errorf("sim: launch must size memory (MemWords)")
+	}
+
+	e := &Engine{opt: opt, launch: launch, totalCTAs: launch.GridCTAs}
+	e.sys = mem.NewSystem(opt.GPU.Mem, opt.GPU.NumSMs, opt.GPU.WarpsPerSM, launch.MemWords)
+	if launch.Setup != nil {
+		launch.Setup(e.sys.Words())
+	}
+
+	// DDOS runs in every configuration (it is observation-only unless
+	// BOWS consumes it), so detection metrics are always available.
+	slotsPer := opt.GPU.WarpsPerSM / opt.GPU.SchedulersPerSM
+	for id := 0; id < opt.GPU.NumSMs; id++ {
+		m := &smState{
+			id:              id,
+			eng:             e,
+			warps:           make([]*simt.Warp, opt.GPU.WarpsPerSM),
+			metrics:         make([]sched.WarpMetrics, opt.GPU.WarpsPerSM),
+			regPend:         make([]bool, opt.GPU.WarpsPerSM*isa.NumRegs),
+			predPend:        make([]bool, opt.GPU.WarpsPerSM*isa.NumPreds),
+			wbRing:          make([][]wbItem, opt.GPU.ALULat+1),
+			issuedThisCycle: make([]bool, opt.GPU.WarpsPerSM),
+			ddos:            core.NewDDOS(opt.DDOS, opt.GPU.WarpsPerSM),
+		}
+		if opt.BOWS.Mode != config.BOWSOff {
+			m.bows = core.NewBOWS(opt.BOWS, m.ddos, opt.GPU.WarpsPerSM)
+		}
+		if opt.Profile {
+			m.pcCounts = make([]int64, launch.Prog.Len())
+		}
+		for u := 0; u < opt.GPU.SchedulersPerSM; u++ {
+			slots := make([]int, slotsPer)
+			for i := range slots {
+				slots[i] = u*slotsPer + i
+			}
+			base, err := sched.New(opt.Sched, slots, m.metrics, opt.GPU.GTORotatePeriod)
+			if err != nil {
+				return nil, err
+			}
+			unit := &smUnit{policy: base, slots: slots}
+			if m.bows != nil {
+				unit.wrapped = core.Wrap(base, m.bows)
+				unit.policy = unit.wrapped
+			}
+			m.units = append(m.units, unit)
+		}
+		for s := opt.GPU.WarpsPerSM - 1; s >= 0; s-- {
+			m.freeSlots = append(m.freeSlots, s)
+		}
+		e.sys.AttachSync(id, &m.st.Sync)
+		e.sms = append(e.sms, m)
+	}
+	return e, nil
+}
+
+// Run simulates to completion and returns the result. It fails on the
+// MaxCycles watchdog (livelock/deadlock guard).
+func (e *Engine) Run() (*Result, error) {
+	e.dispatch()
+	for e.ctasDone < e.totalCTAs {
+		if e.cycle >= e.opt.GPU.MaxCycles {
+			// Return the partial result alongside the error so callers can
+			// inspect what the machine was doing when the watchdog fired.
+			return e.result(), fmt.Errorf("sim: %s on %s/%s: exceeded MaxCycles=%d (%d/%d CTAs done) — livelock?",
+				e.launch.Prog.Name, e.opt.GPU.Name, e.opt.Sched, e.opt.GPU.MaxCycles, e.ctasDone, e.totalCTAs)
+		}
+		e.sys.Tick(e.cycle)
+		for _, m := range e.sms {
+			m.tick(e.cycle)
+		}
+		if e.nextCTA < e.totalCTAs {
+			e.dispatch()
+		}
+		e.cycle++
+	}
+	// Drain in-flight stores so the final memory image is complete.
+	for !e.sys.Quiescent() {
+		if e.cycle >= e.opt.GPU.MaxCycles {
+			return nil, fmt.Errorf("sim: %s: memory system failed to drain", e.launch.Prog.Name)
+		}
+		e.sys.Tick(e.cycle)
+		e.cycle++
+	}
+	return e.result(), nil
+}
+
+// Cycle returns the current simulation cycle.
+func (e *Engine) Cycle() int64 { return e.cycle }
+
+// dispatch places pending CTAs onto SMs with capacity.
+func (e *Engine) dispatch() {
+	warpsPerCTA := (e.launch.CTAThreads + 31) / 32
+	for _, m := range e.sms {
+		for e.nextCTA < e.totalCTAs &&
+			m.resident < e.opt.GPU.MaxCTAsPerSM &&
+			len(m.freeSlots) >= warpsPerCTA {
+			m.placeCTA(e.nextCTA, warpsPerCTA)
+			e.nextCTA++
+		}
+	}
+}
+
+func (m *smState) placeCTA(ctaID, warpsPerCTA int) {
+	l := &m.eng.launch
+	cta := simt.NewCTA(int32(ctaID), int32(l.CTAThreads), int32(l.GridCTAs), warpsPerCTA)
+	rec := &ctaRec{cta: cta}
+	for wi := 0; wi < warpsPerCTA; wi++ {
+		slot := m.freeSlots[len(m.freeSlots)-1]
+		m.freeSlots = m.freeSlots[:len(m.freeSlots)-1]
+		lanes := 32
+		if rem := l.CTAThreads - wi*32; rem < 32 {
+			lanes = rem
+		}
+		gtidBase := int32(ctaID*l.CTAThreads + wi*32)
+		w := simt.NewWarp(l.Prog, cta, wi, slot, m.id, gtidBase, lanes)
+		w.Params = l.Params
+		m.warps[slot] = w
+		m.metrics[slot] = sched.WarpMetrics{Resident: true, EstRemaining: int64(l.Prog.Len())}
+		rec.slots = append(rec.slots, slot)
+	}
+	m.ctas = append(m.ctas, rec)
+	m.resident++
+}
+
+// ready reports whether the warp in slot can issue its next instruction.
+func (m *smState) ready(slot int) bool {
+	w := m.warps[slot]
+	if w == nil || w.Done || w.AtBarrier {
+		return false
+	}
+	in := w.NextInstr()
+	base := slot * isa.NumRegs
+	if in.WritesReg() && m.regPend[base+int(in.Dst)] {
+		return false
+	}
+	if in.A.Kind == isa.OpdReg && m.regPend[base+int(in.A.Reg)] {
+		return false
+	}
+	if in.B.Kind == isa.OpdReg && m.regPend[base+int(in.B.Reg)] {
+		return false
+	}
+	if in.C.Kind == isa.OpdReg && m.regPend[base+int(in.C.Reg)] {
+		return false
+	}
+	if in.D.Kind == isa.OpdReg && m.regPend[base+int(in.D.Reg)] {
+		return false
+	}
+	pbase := slot * isa.NumPreds
+	if in.Op == isa.OpSetp && m.predPend[pbase+int(in.PDst)] {
+		return false
+	}
+	if in.Op == isa.OpSelp && m.predPend[pbase+int(in.PSrc)] {
+		return false
+	}
+	if in.Guarded() && m.predPend[pbase+int(in.Guard)] {
+		return false
+	}
+	port := m.eng.sys.Port(m.id)
+	switch {
+	case in.Op.IsMem():
+		return port.Outstanding(slot) < m.eng.opt.GPU.Mem.MaxPerWarp && port.CanAccept(1)
+	case in.Op == isa.OpMembar:
+		return port.Outstanding(slot) == 0
+	}
+	return true
+}
+
+func (m *smState) tick(cycle int64) {
+	// 1. ALU writeback.
+	ring := &m.wbRing[cycle%int64(len(m.wbRing))]
+	for _, it := range *ring {
+		if it.isPred {
+			m.predPend[it.slot*isa.NumPreds+int(it.idx)] = false
+		} else {
+			m.regPend[it.slot*isa.NumRegs+int(it.idx)] = false
+		}
+	}
+	*ring = (*ring)[:0]
+
+	// 2. Detector / controller ticks.
+	m.ddos.Tick(cycle)
+	if m.bows != nil {
+		m.bows.Tick(cycle)
+	}
+
+	// 3. Issue: one instruction per scheduler unit.
+	for _, u := range m.units {
+		slot := u.policy.Pick(cycle, m.ready)
+		if slot < 0 {
+			m.st.IdleCycles++
+			continue
+		}
+		m.st.IssueCycles++
+		m.issue(u, slot, cycle)
+	}
+
+	// 4. Per-warp accounting (CAWA metrics, Figure 11 sampling).
+	m.st.SampleCycles++
+	for slot, w := range m.warps {
+		if w == nil || w.Done {
+			continue
+		}
+		mt := &m.metrics[slot]
+		mt.ResidentCycles++
+		m.st.ResidentSum++
+		if m.issuedThisCycle[slot] {
+			m.issuedThisCycle[slot] = false
+		} else {
+			mt.StallCycles++
+			m.st.StallTotal++
+		}
+		if m.bows != nil && m.bows.BackedOff(slot) {
+			m.st.BackedOffSum++
+		}
+	}
+	if n := m.ddos.Table().Len(); n > m.maxSIBPT {
+		m.maxSIBPT = n
+	}
+}
+
+// issue executes one instruction from the warp in slot.
+func (m *smState) issue(u *smUnit, slot int, cycle int64) {
+	w := m.warps[slot]
+	res := w.Execute(cycle)
+	in := res.Instr
+	lanes := int64(res.ActiveLanes())
+
+	m.st.WarpInstrs++
+	m.st.ThreadInstrs += lanes
+	m.st.ActiveLaneSum += lanes
+	if in.HasAnn(isa.AnnSync) {
+		m.st.SyncThreadInstrs += lanes
+	}
+	m.issuedThisCycle[slot] = true
+	m.metrics[slot].Issued++
+	if m.pcCounts != nil {
+		m.pcCounts[res.PC]++
+	}
+	if tr := m.eng.opt.Tracer; tr != nil {
+		tr.Record(trace.Event{Cycle: cycle, SM: m.id, Slot: slot,
+			Kind: trace.KindIssue, PC: res.PC, Op: in.Op, Lanes: int(lanes)})
+		if m.bows != nil && m.bows.BackedOff(slot) {
+			// OnIssue below will exit the backed-off state.
+			tr.Record(trace.Event{Cycle: cycle, SM: m.id, Slot: slot,
+				Kind: trace.KindBackoffExit, PC: res.PC})
+		}
+	}
+	u.policy.OnIssue(slot, cycle)
+
+	alulat := m.eng.opt.GPU.ALULat
+	pushWB := func(isPred bool, idx uint8) {
+		at := (cycle + alulat) % int64(len(m.wbRing))
+		m.wbRing[at] = append(m.wbRing[at], wbItem{slot: slot, isPred: isPred, idx: idx})
+	}
+
+	switch {
+	case res.IsBranch:
+		u.policy.OnBranch(slot, res.BackwardTaken)
+		if res.BackwardTaken {
+			m.ddos.OnBranch(slot, res.PC, in.HasAnn(isa.AnnSIB), cycle)
+			if in.HasAnn(isa.AnnSIB) {
+				m.st.SIBInstrs++
+			}
+			if u.wrapped != nil {
+				if m.bows.IsSIB(res.PC, in) {
+					u.wrapped.OnSIB(slot)
+					if tr := m.eng.opt.Tracer; tr != nil {
+						tr.Record(trace.Event{Cycle: cycle, SM: m.id, Slot: slot,
+							Kind: trace.KindSIB, PC: res.PC})
+					}
+				} else {
+					m.bows.OnBackwardNonSIB(slot)
+				}
+			}
+		}
+		if in.HasAnn(isa.AnnWaitCheck) {
+			m.st.Sync.WaitExitFail += int64(bits.OnesCount32(res.Taken))
+			m.st.Sync.WaitExitSuccess += int64(bits.OnesCount32(res.NotTaken))
+		}
+	case res.IsSetp:
+		m.ddos.OnSetp(slot, res.PC, res.SetpLane, res.SetpV1, res.SetpV2)
+		m.predPend[slot*isa.NumPreds+int(in.PDst)] = true
+		pushWB(true, uint8(in.PDst))
+	case in.Op == isa.OpMembar:
+		m.eng.sys.Stats(m.id).FenceOps++
+	case in.Op == isa.OpBar:
+		w.CTA.Arrive(w)
+		if tr := m.eng.opt.Tracer; tr != nil {
+			tr.Record(trace.Event{Cycle: cycle, SM: m.id, Slot: slot,
+				Kind: trace.KindBarrier, PC: res.PC})
+		}
+	case in.Op.IsMem():
+		m.issueMem(w, in, res, slot)
+	case in.WritesReg():
+		m.regPend[slot*isa.NumRegs+int(in.Dst)] = true
+		pushWB(false, uint8(in.Dst))
+	}
+
+	if w.Done {
+		m.checkCTADone(w.CTA)
+	}
+}
+
+func (m *smState) issueMem(w *simt.Warp, in *isa.Instr, res simt.ExecResult, slot int) {
+	accs := make([]mem.Access, len(res.Mem))
+	for i, a := range res.Mem {
+		accs[i] = mem.Access{Lane: a.Lane, Addr: a.Addr, V1: a.V1, V2: a.V2, GTID: a.GTID}
+	}
+	writesReg := in.WritesReg()
+	if writesReg && len(accs) > 0 {
+		m.regPend[slot*isa.NumRegs+int(in.Dst)] = true
+	}
+	req := &mem.Request{
+		SM: m.id, WarpSlot: slot, Op: in.Op, Ann: in.Ann, Vol: in.Vol, Accesses: accs,
+	}
+	req.Done = func(r *mem.Request) {
+		if writesReg {
+			for i := range r.Accesses {
+				a := &r.Accesses[i]
+				w.SetReg(a.Lane, in.Dst, a.Result)
+			}
+			if len(r.Accesses) > 0 {
+				m.regPend[slot*isa.NumRegs+int(in.Dst)] = false
+			}
+		}
+	}
+	m.eng.sys.Port(m.id).Enqueue(req)
+}
+
+func (m *smState) checkCTADone(cta *simt.CTA) {
+	if cta.LiveWarps() != 0 {
+		return
+	}
+	for _, rec := range m.ctas {
+		if rec.cta == cta && !rec.done {
+			rec.done = true
+			for _, s := range rec.slots {
+				m.warps[s] = nil
+				m.metrics[s] = sched.WarpMetrics{}
+				m.freeSlots = append(m.freeSlots, s)
+			}
+			m.resident--
+			m.eng.ctasDone++
+			return
+		}
+	}
+}
+
+func (e *Engine) result() *Result {
+	r := &Result{Memory: e.sys.Words()}
+	seen := make(map[int32]struct{})
+	for _, m := range e.sms {
+		m.st.Cycles = e.cycle
+		m.st.Mem = *e.sys.Stats(m.id)
+		if m.bows != nil {
+			r.FinalDelayLimits = append(r.FinalDelayLimits, m.bows.DelayLimit())
+		}
+		det := m.ddos.Metrics()
+		r.PerSM = append(r.PerSM, m.st)
+		r.PerSMDetection = append(r.PerSMDetection, det)
+		r.Detection.Add(det)
+		r.Stats.Add(&m.st)
+		for _, pc := range m.ddos.Table().ConfirmedPCs() {
+			if _, ok := seen[pc]; !ok {
+				seen[pc] = struct{}{}
+				r.ConfirmedSIBs = append(r.ConfirmedSIBs, pc)
+			}
+		}
+		if m.maxSIBPT > r.MaxSIBPTEntries {
+			r.MaxSIBPTEntries = m.maxSIBPT
+		}
+		if m.pcCounts != nil {
+			if r.PCProfile == nil {
+				r.PCProfile = make([]int64, len(m.pcCounts))
+			}
+			for pc, n := range m.pcCounts {
+				r.PCProfile[pc] += n
+			}
+		}
+	}
+	return r
+}

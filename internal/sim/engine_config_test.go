@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"testing"
+
+	"warpsched/internal/config"
+	"warpsched/internal/isa"
+	"warpsched/internal/trace"
+)
+
+func TestPascalConfigRuns(t *testing.T) {
+	const n = 1000
+	opt := Options{
+		GPU:   config.GTX1080Ti().Scaled(2),
+		Sched: config.GTO,
+		BOWS:  config.DefaultBOWS(),
+		DDOS:  config.DefaultDDOS(),
+	}
+	launch := Launch{
+		Prog:       vecAddProg(t),
+		GridCTAs:   4,
+		CTAThreads: 128,
+		Params:     []uint32{n, 0, n, 2 * n},
+		MemWords:   3*n + 64,
+		Setup: func(w []uint32) {
+			for i := 0; i < n; i++ {
+				w[i] = uint32(i)
+				w[n+i] = uint32(i)
+			}
+		},
+	}
+	eng, err := New(opt, launch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if res.Memory[2*n+i] != uint32(2*i) {
+			t.Fatalf("c[%d] = %d", i, res.Memory[2*n+i])
+		}
+	}
+	// 4 schedulers per SM on Pascal: per-SM stats exist for each SM.
+	if len(res.PerSM) != 2 {
+		t.Fatalf("PerSM = %d", len(res.PerSM))
+	}
+}
+
+func TestPartialWarpCTA(t *testing.T) {
+	// 50 threads per CTA: one full warp + one 18-lane warp.
+	const n = 200
+	launch := Launch{
+		Prog:       vecAddProg(t),
+		GridCTAs:   4,
+		CTAThreads: 50,
+		Params:     []uint32{n, 0, n, 2 * n},
+		MemWords:   3*n + 64,
+		Setup: func(w []uint32) {
+			for i := 0; i < n; i++ {
+				w[i] = uint32(i)
+				w[n+i] = uint32(10 * i)
+			}
+		},
+	}
+	eng, err := New(testOptions(config.LRR), launch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if res.Memory[2*n+i] != uint32(11*i) {
+			t.Fatalf("c[%d] = %d, want %d", i, res.Memory[2*n+i], 11*i)
+		}
+	}
+}
+
+func TestClockSpecialAdvances(t *testing.T) {
+	b := isa.NewBuilder("clock")
+	b.Clock(1)
+	// Burn a few cycles with dependent ALU ops.
+	b.Add(2, isa.R(1), isa.I(1))
+	b.Add(2, isa.R(2), isa.I(1))
+	b.Add(2, isa.R(2), isa.I(1))
+	b.Clock(3)
+	b.Sub(4, isa.R(3), isa.R(1))
+	b.St(isa.I(0), isa.I(0), isa.R(4))
+	b.Exit()
+	p := b.MustBuild()
+	eng, err := New(testOptions(config.GTO), Launch{
+		Prog: p, GridCTAs: 1, CTAThreads: 32, MemWords: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int32(res.Memory[0]) <= 0 {
+		t.Fatalf("clock delta = %d, want positive", int32(res.Memory[0]))
+	}
+}
+
+func TestStaticBOWSMatchesAnnotations(t *testing.T) {
+	// In static mode the warp backs off at the annotated SIB even before
+	// DDOS could have confirmed anything.
+	prog := spinPairProg(t)
+	opt := testOptions(config.GTO)
+	opt.BOWS = config.FixedBOWS(500)
+	opt.BOWS.Mode = config.BOWSStatic
+	eng, err := New(opt, Launch{
+		Prog: prog, GridCTAs: 2, CTAThreads: 32,
+		Params: []uint32{64, 96, 2}, MemWords: 160,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BackedOffSum == 0 {
+		t.Fatal("static BOWS never engaged")
+	}
+	if got := res.Memory[96]; got != 64*2 {
+		t.Fatalf("counter = %d", got)
+	}
+}
+
+func TestPCProfileAccountsEveryIssue(t *testing.T) {
+	opt := testOptions(config.GTO)
+	opt.Profile = true
+	prog := spinPairProg(t)
+	eng, err := New(opt, Launch{
+		Prog: prog, GridCTAs: 2, CTAThreads: 32,
+		Params: []uint32{64, 96, 2}, MemWords: 160,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PCProfile) != int(prog.Len()) {
+		t.Fatalf("profile length %d, want %d", len(res.PCProfile), prog.Len())
+	}
+	var total int64
+	for _, n := range res.PCProfile {
+		total += n
+	}
+	if total != res.Stats.WarpInstrs {
+		t.Fatalf("profile total %d != warp instrs %d", total, res.Stats.WarpInstrs)
+	}
+	// The CAS in the spin loop must be among the hottest instructions.
+	casPC := int32(-1)
+	for pc := int32(0); pc < prog.Len(); pc++ {
+		if prog.At(pc).Op == isa.OpAtomCAS {
+			casPC = pc
+		}
+	}
+	if res.PCProfile[casPC] == 0 {
+		t.Fatal("spin CAS never profiled")
+	}
+}
+
+func TestTracerReceivesEvents(t *testing.T) {
+	ring := trace.NewRing(4096)
+	opt := testOptions(config.GTO)
+	opt.BOWS = config.FixedBOWS(200)
+	opt.Tracer = ring
+	prog := spinPairProg(t)
+	eng, err := New(opt, Launch{
+		Prog: prog, GridCTAs: 2, CTAThreads: 32,
+		Params: []uint32{64, 96, 2}, MemWords: 160,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var issues, sibs, exits int
+	for _, e := range ring.Events() {
+		switch e.Kind {
+		case trace.KindIssue:
+			issues++
+		case trace.KindSIB:
+			sibs++
+		case trace.KindBackoffExit:
+			exits++
+		}
+	}
+	if ring.Total() == 0 || issues == 0 {
+		t.Fatal("tracer saw no issues")
+	}
+	if res.Stats.SIBInstrs > 0 && sibs == 0 {
+		t.Fatal("tracer saw no SIB events despite SIB executions")
+	}
+	if sibs > 0 && exits == 0 {
+		t.Fatal("backed-off warps must eventually exit")
+	}
+}

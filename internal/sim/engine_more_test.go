@@ -1,0 +1,319 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"warpsched/internal/config"
+	"warpsched/internal/isa"
+)
+
+// spinPairProg: warp-count threads contend for one lock; each thread
+// increments a shared counter inside the critical section n times.
+func spinPairProg(t *testing.T) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("spinpair")
+	b.LdParam(10, 0)   // lock addr
+	b.LdParam(11, 1)   // counter addr
+	b.LdParam(12, 2)   // iterations per thread
+	b.Mov(2, isa.I(0)) // i
+	b.While(0, false,
+		func() { b.Setp(isa.LT, 0, isa.R(2), isa.R(12)) },
+		func() {
+			b.Mov(3, isa.I(0)) // done
+			b.DoWhile(1, false, true,
+				func() {
+					b.AtomCAS(4, isa.R(10), isa.I(0), isa.I(0), isa.I(1))
+					b.AnnotateLast(isa.AnnLockAcquire | isa.AnnSync)
+					b.Setp(isa.EQ, 2, isa.R(4), isa.I(0))
+					b.If(2, false, func() {
+						b.LdVol(5, isa.R(11), isa.I(0))
+						b.Add(5, isa.R(5), isa.I(1))
+						b.St(isa.R(11), isa.I(0), isa.R(5))
+						b.Mov(3, isa.I(1))
+						b.Membar()
+						b.AtomExch(6, isa.R(10), isa.I(0), isa.I(0))
+						b.AnnotateLast(isa.AnnLockRelease | isa.AnnSync)
+					})
+				},
+				func() { b.Setp(isa.EQ, 1, isa.R(3), isa.I(0)) })
+			b.Add(2, isa.R(2), isa.I(1))
+		})
+	b.Exit()
+	return b.MustBuild()
+}
+
+// TestLockMutualExclusion runs a contended increment under every
+// scheduler/BOWS combination: the final counter value proves no lost
+// updates (linearizable lock), and DDOS must confirm the spin branch.
+func TestLockMutualExclusion(t *testing.T) {
+	const threads, iters = 96, 4
+	prog := spinPairProg(t)
+	launch := Launch{
+		Prog: prog, GridCTAs: 3, CTAThreads: 32,
+		Params:   []uint32{64, 96, iters},
+		MemWords: 160,
+	}
+	for _, kind := range config.Schedulers {
+		for _, mode := range []config.BOWSMode{config.BOWSOff, config.BOWSDDOS, config.BOWSStatic} {
+			opt := testOptions(kind)
+			if mode != config.BOWSOff {
+				opt.BOWS = config.DefaultBOWS()
+				opt.BOWS.Mode = mode
+			}
+			eng, err := New(opt, launch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := eng.Run()
+			if err != nil {
+				t.Fatalf("%s/%s: %v", kind, mode, err)
+			}
+			if got := res.Memory[96]; got != threads*iters {
+				t.Fatalf("%s/%s: counter = %d, want %d (lost updates!)", kind, mode, got, threads*iters)
+			}
+			if res.Memory[64] != 0 {
+				t.Fatalf("%s/%s: lock still held", kind, mode)
+			}
+			if mode != config.BOWSOff && res.Stats.Sync.LockSuccess != threads*iters {
+				t.Fatalf("%s/%s: lock successes = %d", kind, mode, res.Stats.Sync.LockSuccess)
+			}
+		}
+	}
+}
+
+func TestDDOSConfirmsSpinBranchInEngine(t *testing.T) {
+	prog := spinPairProg(t)
+	launch := Launch{
+		Prog: prog, GridCTAs: 3, CTAThreads: 32,
+		Params:   []uint32{64, 96, 8},
+		MemWords: 160,
+	}
+	eng, err := New(testOptions(config.GTO), launch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detection.TSDR() != 1 {
+		t.Errorf("TSDR = %.2f (%d/%d)", res.Detection.TSDR(),
+			res.Detection.TrueDetected, res.Detection.TrueSeen)
+	}
+	if res.Detection.FSDR() != 0 {
+		t.Errorf("FSDR = %.2f", res.Detection.FSDR())
+	}
+	found := false
+	for _, pc := range res.ConfirmedSIBs {
+		for _, want := range prog.TrueSIBs {
+			if pc == want {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("confirmed %v, ground truth %v", res.ConfirmedSIBs, prog.TrueSIBs)
+	}
+}
+
+func TestBOWSReducesSpinInstructionsInEngine(t *testing.T) {
+	prog := spinPairProg(t)
+	launch := Launch{
+		Prog: prog, GridCTAs: 3, CTAThreads: 32,
+		Params:   []uint32{64, 96, 8},
+		MemWords: 160,
+	}
+	base, err := New(testOptions(config.GTO), launch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBase, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := testOptions(config.GTO)
+	opt.BOWS = config.DefaultBOWS()
+	bows, err := New(opt, launch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBows, err := bows.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resBows.Stats.ThreadInstrs >= resBase.Stats.ThreadInstrs {
+		t.Errorf("BOWS thread instrs %d should be below baseline %d",
+			resBows.Stats.ThreadInstrs, resBase.Stats.ThreadInstrs)
+	}
+	if resBows.Stats.BackedOffSum == 0 {
+		t.Error("BOWS never backed a warp off")
+	}
+	if len(resBows.FinalDelayLimits) == 0 {
+		t.Error("no delay limits reported")
+	}
+}
+
+func TestCTAOversubscription(t *testing.T) {
+	// More CTAs than the machine can host at once: the dispatcher must
+	// place them in waves.
+	const n = 4096
+	launch := Launch{
+		Prog:       vecAddProg(t),
+		GridCTAs:   40, // 2 SMs × 8 CTAs max → 3 waves
+		CTAThreads: 64,
+		Params:     []uint32{n, 0, n, 2 * n},
+		MemWords:   3*n + 64,
+		Setup: func(w []uint32) {
+			for i := 0; i < n; i++ {
+				w[i] = uint32(i)
+				w[n+i] = uint32(2 * i)
+			}
+		},
+	}
+	eng, err := New(testOptions(config.GTO), launch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if res.Memory[2*n+i] != uint32(3*i) {
+			t.Fatalf("c[%d] = %d", i, res.Memory[2*n+i])
+		}
+	}
+}
+
+func TestWatchdogFiresOnInfiniteLoop(t *testing.T) {
+	b := isa.NewBuilder("hang")
+	b.Label("top")
+	b.Bra("top")
+	p := b.MustBuild()
+	opt := testOptions(config.GTO)
+	opt.GPU.MaxCycles = 10_000
+	eng, err := New(opt, Launch{Prog: p, GridCTAs: 1, CTAThreads: 32, MemWords: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.Run()
+	if err == nil || !strings.Contains(err.Error(), "MaxCycles") {
+		t.Fatalf("watchdog should fire, got %v", err)
+	}
+}
+
+func TestNewRejectsBadLaunch(t *testing.T) {
+	opt := testOptions(config.GTO)
+	good := Launch{Prog: vecAddProg(t), GridCTAs: 1, CTAThreads: 32, MemWords: 64, Params: []uint32{0, 0, 0, 0}}
+	cases := []func(*Launch){
+		func(l *Launch) { l.Prog = nil },
+		func(l *Launch) { l.GridCTAs = 0 },
+		func(l *Launch) { l.CTAThreads = 0 },
+		func(l *Launch) { l.CTAThreads = 33 * 64 }, // exceeds warp slots
+		func(l *Launch) { l.MemWords = 0 },
+	}
+	for i, mut := range cases {
+		l := good
+		mut(&l)
+		if _, err := New(opt, l); err == nil {
+			t.Errorf("case %d: bad launch accepted", i)
+		}
+	}
+}
+
+func TestMembarOrdersStoreBeforeFlag(t *testing.T) {
+	// Producer stores data then flag (with membar between); consumer
+	// spins on the flag and must observe the data.
+	// The producer must be a whole warp: a producer lane sharing a warp
+	// with spinning consumer lanes would be a SIMT-induced deadlock.
+	b := isa.NewBuilder("producer-consumer")
+	b.Mov(1, isa.S(isa.SpecGTID))
+	b.Setp(isa.LT, 0, isa.R(1), isa.I(32))
+	b.IfElse(0, false,
+		func() { // producer warp: lane 0 publishes
+			b.Setp(isa.EQ, 2, isa.R(1), isa.I(0))
+			b.If(2, false, func() {
+				b.St(isa.I(0), isa.I(0), isa.I(1234)) // data
+				b.Membar()
+				b.St(isa.I(0), isa.I(1), isa.I(1)) // flag
+			})
+		},
+		func() { // consumer warps
+			b.DoWhile(1, false, true,
+				func() { b.LdVol(3, isa.I(0), isa.I(1)) },
+				func() { b.Setp(isa.EQ, 1, isa.R(3), isa.I(0)) })
+			b.LdVol(4, isa.I(0), isa.I(0))
+			b.Add(5, isa.R(1), isa.I(16))
+			b.St(isa.I(0), isa.R(5), isa.R(4)) // out[16+gtid] = data
+		})
+	b.Exit()
+	p := b.MustBuild()
+	// Consumers must be in other warps: use 2 CTAs of 32.
+	eng, err := New(testOptions(config.GTO), Launch{
+		Prog: p, GridCTAs: 2, CTAThreads: 32, MemWords: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gtid := 32; gtid < 64; gtid++ {
+		if got := res.Memory[16+gtid]; got != 1234 {
+			t.Fatalf("consumer %d observed %d, want 1234 (fence violated)", gtid, got)
+		}
+	}
+}
+
+func TestPerSMStatsSumToTotal(t *testing.T) {
+	const n = 2000
+	launch := Launch{
+		Prog:       vecAddProg(t),
+		GridCTAs:   8,
+		CTAThreads: 64,
+		Params:     []uint32{n, 0, n, 2 * n},
+		MemWords:   3*n + 64,
+	}
+	eng, err := New(testOptions(config.LRR), launch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warpInstrs, threadInstrs int64
+	for _, sm := range res.PerSM {
+		warpInstrs += sm.WarpInstrs
+		threadInstrs += sm.ThreadInstrs
+	}
+	if warpInstrs != res.Stats.WarpInstrs || threadInstrs != res.Stats.ThreadInstrs {
+		t.Fatalf("per-SM stats don't sum: %d/%d vs %d/%d",
+			warpInstrs, threadInstrs, res.Stats.WarpInstrs, res.Stats.ThreadInstrs)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Two identical runs must produce identical statistics.
+	k := spinPairProg(t)
+	launch := Launch{Prog: k, GridCTAs: 3, CTAThreads: 32,
+		Params: []uint32{64, 96, 4}, MemWords: 160}
+	opt := testOptions(config.GTO)
+	opt.BOWS = config.DefaultBOWS()
+	run := func() int64 {
+		eng, err := New(opt, launch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Cycles*1000003 + res.Stats.ThreadInstrs
+	}
+	if run() != run() {
+		t.Fatal("simulation is not deterministic")
+	}
+}

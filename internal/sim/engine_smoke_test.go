@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"testing"
+
+	"warpsched/internal/config"
+	"warpsched/internal/isa"
+)
+
+// smallGPU returns a 2-SM configuration for fast tests.
+func smallGPU() config.GPU {
+	g := config.GTX480().Scaled(2)
+	g.MaxCycles = 5_000_000
+	return g
+}
+
+func testOptions(kind config.SchedulerKind) Options {
+	return Options{
+		GPU:   smallGPU(),
+		Sched: kind,
+		BOWS:  config.BOWS{Mode: config.BOWSOff},
+		DDOS:  config.DefaultDDOS(),
+	}
+}
+
+// vecAddProg builds c[i] = a[i] + b[i] over n elements, grid-stride.
+func vecAddProg(t *testing.T) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("vecadd-smoke")
+	b.LdParam(10, 0) // n
+	b.LdParam(11, 1) // a
+	b.LdParam(12, 2) // b
+	b.LdParam(13, 3) // c
+	b.Mov(2, isa.S(isa.SpecGTID))
+	b.Mov(3, isa.S(isa.SpecNTID))
+	b.Mul(3, isa.R(3), isa.S(isa.SpecNCTAID))
+	b.While(0, false,
+		func() { b.Setp(isa.LT, 0, isa.R(2), isa.R(10)) },
+		func() {
+			b.Ld(4, isa.R(11), isa.R(2))
+			b.Ld(5, isa.R(12), isa.R(2))
+			b.Add(6, isa.R(4), isa.R(5))
+			b.St(isa.R(13), isa.R(2), isa.R(6))
+			b.Add(2, isa.R(2), isa.R(3))
+		})
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p
+}
+
+func TestEngineVecAdd(t *testing.T) {
+	const n = 1000
+	for _, kind := range config.Schedulers {
+		t.Run(string(kind), func(t *testing.T) {
+			launch := Launch{
+				Prog:       vecAddProg(t),
+				GridCTAs:   4,
+				CTAThreads: 96, // partial warps included
+				Params:     []uint32{n, 0, n, 2 * n},
+				MemWords:   3*n + 64,
+				Setup: func(w []uint32) {
+					for i := 0; i < n; i++ {
+						w[i] = uint32(i)
+						w[n+i] = uint32(3 * i)
+					}
+				},
+			}
+			eng, err := New(testOptions(kind), launch)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			res, err := eng.Run()
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			for i := 0; i < n; i++ {
+				if got, want := res.Memory[2*n+i], uint32(4*i); got != want {
+					t.Fatalf("c[%d] = %d, want %d", i, got, want)
+				}
+			}
+			if res.Stats.Cycles <= 0 || res.Stats.WarpInstrs <= 0 {
+				t.Fatalf("implausible stats: %+v", res.Stats)
+			}
+			// A regular loop must not be classified as spinning.
+			if len(res.ConfirmedSIBs) != 0 {
+				t.Fatalf("false SIB detection on vecadd: %v", res.ConfirmedSIBs)
+			}
+		})
+	}
+}
+
+// divergeProg exercises nested divergence: odd lanes and high lanes take
+// different paths, all must reconverge.
+func divergeProg(t *testing.T) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("diverge-smoke")
+	b.LdParam(10, 0) // out base
+	b.Mov(2, isa.S(isa.SpecGTID))
+	b.And(3, isa.R(2), isa.I(1))
+	b.Setp(isa.EQ, 0, isa.R(3), isa.I(0))
+	b.IfElse(0, false,
+		func() { // even lanes
+			b.Setp(isa.LT, 1, isa.R(2), isa.I(16))
+			b.IfElse(1, false,
+				func() { b.Mov(4, isa.I(100)) },
+				func() { b.Mov(4, isa.I(200)) })
+		},
+		func() { // odd lanes
+			b.Mov(4, isa.I(300))
+		})
+	b.Add(4, isa.R(4), isa.R(2))
+	b.St(isa.R(10), isa.R(2), isa.R(4))
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p
+}
+
+func TestEngineDivergence(t *testing.T) {
+	const n = 64
+	launch := Launch{
+		Prog:       divergeProg(t),
+		GridCTAs:   1,
+		CTAThreads: n,
+		Params:     []uint32{0},
+		MemWords:   n + 64,
+	}
+	eng, err := New(testOptions(config.GTO), launch)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		want := uint32(300 + i)
+		if i%2 == 0 {
+			if i < 16 {
+				want = uint32(100 + i)
+			} else {
+				want = uint32(200 + i)
+			}
+		}
+		if res.Memory[i] != want {
+			t.Fatalf("out[%d] = %d, want %d", i, res.Memory[i], want)
+		}
+	}
+}
+
+// barrierProg has warps exchange data through memory across a barrier.
+func barrierProg(t *testing.T) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("barrier-smoke")
+	b.LdParam(10, 0) // buf base
+	b.LdParam(11, 1) // out base
+	b.Mov(2, isa.S(isa.SpecTID))
+	b.Mov(3, isa.S(isa.SpecNTID))
+	b.St(isa.R(10), isa.R(2), isa.R(2)) // buf[tid] = tid
+	b.Membar()
+	b.Bar()
+	// read neighbour: buf[(tid+1) % ntid]
+	b.Add(4, isa.R(2), isa.I(1))
+	b.Rem(4, isa.R(4), isa.R(3))
+	b.Ld(5, isa.R(10), isa.R(4))
+	b.St(isa.R(11), isa.R(2), isa.R(5))
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p
+}
+
+func TestEngineBarrier(t *testing.T) {
+	const n = 128
+	launch := Launch{
+		Prog:       barrierProg(t),
+		GridCTAs:   1,
+		CTAThreads: n,
+		Params:     []uint32{0, n},
+		MemWords:   2*n + 64,
+	}
+	eng, err := New(testOptions(config.LRR), launch)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		want := uint32((i + 1) % n)
+		if res.Memory[n+i] != want {
+			t.Fatalf("out[%d] = %d, want %d", i, res.Memory[n+i], want)
+		}
+	}
+}

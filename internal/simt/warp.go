@@ -1,0 +1,467 @@
+// Package simt models SIMT execution state: warps with per-lane register
+// files, the stack-based reconvergence mechanism of pre-Volta NVIDIA GPUs
+// (the architecture the paper targets), divergence/reconvergence on
+// annotated branches, CTA barriers, and the functional execution of one
+// warp instruction.
+//
+// Functional effects of non-memory instructions are applied immediately;
+// memory instructions return the per-lane accesses for the memory system
+// to perform at service time, so atomics interleave in simulated-time
+// order (see internal/mem).
+package simt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"warpsched/internal/isa"
+)
+
+// StackEntry is one SIMT reconvergence stack entry.
+type StackEntry struct {
+	PC     int32
+	Reconv int32 // reconvergence PC; NoReconv for the base entry
+	Mask   uint32
+}
+
+// CTA groups the warps of one cooperative thread array for barriers and
+// special registers.
+type CTA struct {
+	ID         int32
+	ThreadsPer int32 // threads per CTA (blockDim.x)
+	GridCTAs   int32 // gridDim.x
+	NumWarps   int
+	// barrier bookkeeping
+	arrived int
+	waiting []*Warp
+	// liveWarps counts warps that have not fully exited.
+	liveWarps int
+}
+
+// Warp is one resident warp's complete architectural state.
+type Warp struct {
+	Prog *isa.Program
+	CTA  *CTA
+	// IDInCTA is the warp's index within its CTA; Slot its SM warp slot.
+	IDInCTA int
+	Slot    int
+	SM      int
+	// GTIDBase is the global thread id of lane 0.
+	GTIDBase int32
+	// Params are the kernel parameters read by OpLdParam.
+	Params []uint32
+
+	Stack  []StackEntry
+	Exited uint32 // lanes that executed OpExit
+	Valid  uint32 // lanes that exist (partial last warp)
+	// ProfiledLane is the thread whose setp operands feed the DDOS
+	// history registers: re-latched to the lowest lane taking each
+	// backward branch (the thread staying in the loop), so guarded setps
+	// executed by other lanes are skipped rather than mixed in.
+	ProfiledLane int
+	Done         bool
+	// AtBarrier marks the warp blocked on bar.sync.
+	AtBarrier bool
+
+	regs  []uint32 // 32 * NumRegs, lane-major: regs[lane*NumRegs+r]
+	preds []bool   // 32 * NumPreds
+}
+
+// NewCTA creates barrier state for a CTA of numWarps warps.
+func NewCTA(id, threadsPer, gridCTAs int32, numWarps int) *CTA {
+	return &CTA{ID: id, ThreadsPer: threadsPer, GridCTAs: gridCTAs,
+		NumWarps: numWarps, liveWarps: numWarps}
+}
+
+// NewWarp creates a warp with valid lanes [0,lanes) and a full active
+// mask, PC 0.
+func NewWarp(prog *isa.Program, cta *CTA, idInCTA, slot, sm int, gtidBase int32, lanes int) *Warp {
+	var valid uint32
+	if lanes >= 32 {
+		valid = ^uint32(0)
+	} else {
+		valid = (uint32(1) << lanes) - 1
+	}
+	w := &Warp{
+		Prog: prog, CTA: cta, IDInCTA: idInCTA, Slot: slot, SM: sm,
+		GTIDBase: gtidBase, Valid: valid,
+		regs:  make([]uint32, 32*isa.NumRegs),
+		preds: make([]bool, 32*isa.NumPreds),
+	}
+	w.Stack = append(w.Stack, StackEntry{PC: 0, Reconv: isa.NoReconv, Mask: valid})
+	w.ProfiledLane = bits.TrailingZeros32(valid)
+	return w
+}
+
+// Reg returns lane's register r (for tests and result verification).
+func (w *Warp) Reg(lane int, r isa.Reg) uint32 { return w.regs[lane*isa.NumRegs+int(r)] }
+
+// SetReg sets lane's register r.
+func (w *Warp) SetReg(lane int, r isa.Reg, v uint32) { w.regs[lane*isa.NumRegs+int(r)] = v }
+
+// PredVal returns lane's predicate p.
+func (w *Warp) PredVal(lane int, p isa.Pred) bool { return w.preds[lane*isa.NumPreds+int(p)] }
+
+// SetPred sets lane's predicate p.
+func (w *Warp) SetPred(lane int, p isa.Pred, v bool) { w.preds[lane*isa.NumPreds+int(p)] = v }
+
+// PC returns the current program counter (top of SIMT stack).
+func (w *Warp) PC() int32 { return w.Stack[len(w.Stack)-1].PC }
+
+// ActiveMask returns the lanes that will execute the next instruction.
+func (w *Warp) ActiveMask() uint32 {
+	if w.Done {
+		return 0
+	}
+	return w.Stack[len(w.Stack)-1].Mask &^ w.Exited
+}
+
+// NextInstr returns the instruction the warp will execute next.
+func (w *Warp) NextInstr() *isa.Instr {
+	return w.Prog.At(w.PC())
+}
+
+// popReconverged pops stack entries whose PC reached their reconvergence
+// point, merging divergent paths, and retires empty entries.
+func (w *Warp) popReconverged() {
+	for len(w.Stack) > 1 {
+		top := &w.Stack[len(w.Stack)-1]
+		if top.Mask&^w.Exited == 0 || (top.Reconv != isa.NoReconv && top.PC == top.Reconv) {
+			w.Stack = w.Stack[:len(w.Stack)-1]
+			continue
+		}
+		return
+	}
+	if w.Stack[0].Mask&^w.Exited == 0 {
+		w.finish()
+	}
+}
+
+func (w *Warp) finish() {
+	if !w.Done {
+		w.Done = true
+		w.CTA.warpFinished()
+	}
+}
+
+// warpFinished accounts a retired warp and releases the barrier if the
+// remaining live warps have all arrived.
+func (c *CTA) warpFinished() {
+	c.liveWarps--
+	if c.arrived > 0 && c.arrived >= c.liveWarps {
+		for _, ww := range c.waiting {
+			ww.AtBarrier = false
+		}
+		c.waiting = c.waiting[:0]
+		c.arrived = 0
+	}
+}
+
+// guardMask returns the lanes in mask whose guard predicate passes.
+func (w *Warp) guardMask(in *isa.Instr, mask uint32) uint32 {
+	if !in.Guarded() {
+		return mask
+	}
+	var g uint32
+	p := int(in.Guard)
+	for lane := 0; lane < 32; lane++ {
+		if mask&(1<<lane) == 0 {
+			continue
+		}
+		v := w.preds[lane*isa.NumPreds+p]
+		if v != in.GuardNeg {
+			g |= 1 << lane
+		}
+	}
+	return g
+}
+
+// operand evaluates o for lane.
+func (w *Warp) operand(o isa.Operand, lane int, clock int64) uint32 {
+	switch o.Kind {
+	case isa.OpdReg:
+		return w.regs[lane*isa.NumRegs+int(o.Reg)]
+	case isa.OpdImm:
+		return uint32(o.Imm)
+	case isa.OpdSpecial:
+		switch o.Spec {
+		case isa.SpecTID:
+			return uint32(w.IDInCTA*32 + lane)
+		case isa.SpecNTID:
+			return uint32(w.CTA.ThreadsPer)
+		case isa.SpecCTAID:
+			return uint32(w.CTA.ID)
+		case isa.SpecNCTAID:
+			return uint32(w.CTA.GridCTAs)
+		case isa.SpecLaneID:
+			return uint32(lane)
+		case isa.SpecWarpID:
+			return uint32(w.IDInCTA)
+		case isa.SpecSMID:
+			return uint32(w.SM)
+		case isa.SpecGTID:
+			return uint32(w.GTIDBase + int32(lane))
+		case isa.SpecClock:
+			return uint32(clock)
+		}
+	}
+	return 0
+}
+
+// MemAccess is one lane's pending access (re-exported shape; the sim
+// engine converts to mem.Access to avoid an import cycle).
+type MemAccess struct {
+	Lane   int
+	Addr   uint32
+	V1, V2 uint32
+	GTID   int32
+}
+
+// ExecResult describes the side effects of executing one instruction.
+type ExecResult struct {
+	// Instr is the executed instruction; PC its address.
+	Instr *isa.Instr
+	PC    int32
+	// EffMask is the lanes that actually executed (active ∧ guard); for
+	// branches it is the full active mask.
+	EffMask uint32
+	// Mem holds per-lane accesses for memory operations (nil otherwise).
+	Mem []MemAccess
+	// Branch fields.
+	IsBranch      bool
+	Taken         uint32 // lanes that took the branch
+	NotTaken      uint32
+	BackwardTaken bool // branch was backward and taken by ≥1 lane
+	Diverged      bool
+	// Setp observation for DDOS: source values of the first active lane
+	// (the profiled thread), and which lane that was.
+	IsSetp         bool
+	SetpLane       int
+	SetpV1, SetpV2 uint32
+	// Barrier is set when the warp blocked on bar.sync.
+	Barrier bool
+	// ExitedLanes is the mask of lanes that retired this cycle.
+	ExitedLanes uint32
+}
+
+// ActiveLanes returns the number of executing lanes.
+func (r *ExecResult) ActiveLanes() int { return bits.OnesCount32(r.EffMask) }
+
+// Execute runs the instruction at the warp's PC. clock is the SM cycle
+// (for %clock). Memory instructions compute addresses and operands but
+// defer data movement to the memory system: the caller must apply
+// WritebackMem once results are available. All other instructions commit
+// immediately and the PC/stack advance before returning.
+func (w *Warp) Execute(clock int64) ExecResult {
+	if w.Done {
+		panic("simt: Execute on finished warp")
+	}
+	pc := w.PC()
+	in := w.Prog.At(pc)
+	active := w.ActiveMask()
+	res := ExecResult{Instr: in, PC: pc, EffMask: active}
+
+	if in.Op == isa.OpBra {
+		w.execBranch(in, pc, active, &res)
+		w.popReconverged()
+		return res
+	}
+
+	eff := active & w.guardMask(in, active)
+	res.EffMask = eff
+	top := &w.Stack[len(w.Stack)-1]
+
+	switch in.Op {
+	case isa.OpNop, isa.OpMembar:
+		// Timing handled by the engine.
+	case isa.OpExit:
+		w.Exited |= eff
+		res.ExitedLanes = eff
+	case isa.OpBar:
+		res.Barrier = true
+		// Arrival/release handled by the engine via CTA.Arrive.
+	case isa.OpMov, isa.OpLdParam, isa.OpSelp,
+		isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpRem,
+		isa.OpMin, isa.OpMax, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpShl, isa.OpShr:
+		for lane := 0; lane < 32; lane++ {
+			if eff&(1<<lane) == 0 {
+				continue
+			}
+			w.regs[lane*isa.NumRegs+int(in.Dst)] = w.alu(in, lane, clock)
+		}
+	case isa.OpSetp:
+		// A setp record is produced only when the warp's profiled thread
+		// executes the setp, so the history never mixes values from
+		// different threads. If the profiled thread has exited, fall back
+		// to the lowest live lane.
+		if w.Valid&^w.Exited&(1<<w.ProfiledLane) == 0 {
+			w.ProfiledLane = bits.TrailingZeros32(w.Valid &^ w.Exited)
+		}
+		profiled := w.ProfiledLane
+		for lane := 0; lane < 32; lane++ {
+			if eff&(1<<lane) == 0 {
+				continue
+			}
+			a := w.operand(in.A, lane, clock)
+			b := w.operand(in.B, lane, clock)
+			w.preds[lane*isa.NumPreds+int(in.PDst)] = in.Cmp.Eval(a, b)
+			if lane == profiled {
+				res.IsSetp, res.SetpV1, res.SetpV2 = true, a, b
+				res.SetpLane = lane
+			}
+		}
+	case isa.OpLd, isa.OpSt, isa.OpAtomCAS, isa.OpAtomExch, isa.OpAtomAdd, isa.OpAtomMax:
+		res.Mem = w.buildAccesses(in, eff, clock)
+	default:
+		panic(fmt.Sprintf("simt: unimplemented opcode %v", in.Op))
+	}
+
+	top.PC = pc + 1
+	w.popReconverged()
+	return res
+}
+
+func (w *Warp) alu(in *isa.Instr, lane int, clock int64) uint32 {
+	a := w.operand(in.A, lane, clock)
+	switch in.Op {
+	case isa.OpMov:
+		return a
+	case isa.OpLdParam:
+		if int(in.Param) >= len(w.Params) {
+			panic(fmt.Sprintf("simt: %s: ld.param %d out of range (%d params)",
+				w.Prog.Name, in.Param, len(w.Params)))
+		}
+		return w.Params[in.Param]
+	case isa.OpSelp:
+		b := w.operand(in.B, lane, clock)
+		if w.preds[lane*isa.NumPreds+int(in.PSrc)] {
+			return a
+		}
+		return b
+	}
+	b := w.operand(in.B, lane, clock)
+	sa, sb := int32(a), int32(b)
+	switch in.Op {
+	case isa.OpAdd:
+		return uint32(sa + sb)
+	case isa.OpSub:
+		return uint32(sa - sb)
+	case isa.OpMul:
+		return uint32(sa * sb)
+	case isa.OpDiv:
+		if sb == 0 {
+			return 0
+		}
+		return uint32(sa / sb)
+	case isa.OpRem:
+		if sb == 0 {
+			return 0
+		}
+		return uint32(sa % sb)
+	case isa.OpMin:
+		if sa < sb {
+			return a
+		}
+		return b
+	case isa.OpMax:
+		if sa > sb {
+			return a
+		}
+		return b
+	case isa.OpAnd:
+		return a & b
+	case isa.OpOr:
+		return a | b
+	case isa.OpXor:
+		return a ^ b
+	case isa.OpShl:
+		return a << (b & 31)
+	case isa.OpShr:
+		return a >> (b & 31)
+	}
+	panic("simt: alu: bad opcode")
+}
+
+// buildAccesses builds the per-lane access list for a memory instruction.
+func (w *Warp) buildAccesses(in *isa.Instr, eff uint32, clock int64) []MemAccess {
+	out := make([]MemAccess, 0, bits.OnesCount32(eff))
+	for lane := 0; lane < 32; lane++ {
+		if eff&(1<<lane) == 0 {
+			continue
+		}
+		addr := w.operand(in.A, lane, clock) + w.operand(in.B, lane, clock)
+		acc := MemAccess{Lane: lane, Addr: addr, GTID: w.GTIDBase + int32(lane)}
+		switch in.Op {
+		case isa.OpSt, isa.OpAtomExch, isa.OpAtomAdd, isa.OpAtomMax:
+			acc.V1 = w.operand(in.C, lane, clock)
+		case isa.OpAtomCAS:
+			acc.V1 = w.operand(in.C, lane, clock)
+			acc.V2 = w.operand(in.D, lane, clock)
+		}
+		out = append(out, acc)
+	}
+	return out
+}
+
+// execBranch updates the SIMT stack for a (possibly divergent) branch.
+func (w *Warp) execBranch(in *isa.Instr, pc int32, active uint32, res *ExecResult) {
+	res.IsBranch = true
+	top := &w.Stack[len(w.Stack)-1]
+	if !in.Guarded() {
+		// Unconditional: all active lanes jump, no divergence.
+		res.Taken = active
+		top.PC = in.Target
+		res.BackwardTaken = in.Target <= pc && active != 0
+		if res.BackwardTaken {
+			w.ProfiledLane = bits.TrailingZeros32(active)
+		}
+		return
+	}
+	taken := active & w.guardMask(in, active)
+	notTaken := active &^ taken
+	res.Taken, res.NotTaken = taken, notTaken
+	res.BackwardTaken = in.Target <= pc && taken != 0
+	if res.BackwardTaken {
+		// Loop boundary: the profiled thread for the next iteration is
+		// the lowest lane staying in the loop.
+		w.ProfiledLane = bits.TrailingZeros32(taken)
+	}
+	switch {
+	case taken == 0:
+		top.PC = pc + 1
+	case notTaken == 0:
+		top.PC = in.Target
+	default:
+		res.Diverged = true
+		// Standard reconvergence-stack divergence: the current entry
+		// becomes the reconvergence entry; the not-taken path is pushed
+		// below the taken path, so the taken side executes first.
+		top.PC = in.Reconv
+		w.Stack = append(w.Stack,
+			StackEntry{PC: pc + 1, Reconv: in.Reconv, Mask: notTaken},
+			StackEntry{PC: in.Target, Reconv: in.Reconv, Mask: taken},
+		)
+	}
+}
+
+// Arrive registers the warp at its CTA barrier; it returns true when the
+// barrier released (all live warps arrived), in which case every waiting
+// warp including this one has been unblocked.
+func (c *CTA) Arrive(w *Warp) bool {
+	w.AtBarrier = true
+	c.arrived++
+	c.waiting = append(c.waiting, w)
+	if c.arrived < c.liveWarps {
+		return false
+	}
+	for _, ww := range c.waiting {
+		ww.AtBarrier = false
+	}
+	c.waiting = c.waiting[:0]
+	c.arrived = 0
+	return true
+}
+
+// LiveWarps returns the CTA's not-yet-finished warp count.
+func (c *CTA) LiveWarps() int { return c.liveWarps }

@@ -1,0 +1,177 @@
+// Package stats collects the execution statistics the paper reports:
+// dynamic instruction counts split into useful vs synchronization overhead
+// (Fig. 1c, 13a), memory transactions by class (Fig. 1d, 13b), SIMD
+// efficiency (Fig. 1e, 13c), the lock-acquire / wait-exit outcome
+// distribution (Fig. 2, 12), backed-off warp occupancy (Fig. 11), and the
+// raw event counts the energy model weighs (Fig. 9b, 15b).
+package stats
+
+import "fmt"
+
+// Sim aggregates statistics for one simulation (summed over SMs).
+type Sim struct {
+	// Cycles is the kernel execution time in core cycles.
+	Cycles int64
+
+	// WarpInstrs counts issued warp instructions; ThreadInstrs counts
+	// per-lane executions (active lanes summed over issued instructions).
+	WarpInstrs   int64
+	ThreadInstrs int64
+	// SyncThreadInstrs is the subset of ThreadInstrs annotated AnnSync
+	// (busy-wait / acquire / release code); the remainder is useful work.
+	SyncThreadInstrs int64
+	// SIBInstrs counts warp executions of spin-inducing branches (taken,
+	// i.e. spin iterations), using the active BOWS trigger source.
+	SIBInstrs int64
+	// ActiveLaneSum accumulates active lanes per issued instruction for
+	// SIMD efficiency: ActiveLaneSum / (32 * WarpInstrs).
+	ActiveLaneSum int64
+
+	// Issue accounting.
+	IssueCycles   int64 // scheduler-cycles with an instruction issued
+	IdleCycles    int64 // scheduler-cycles with no ready warp
+	StallTotal    int64 // warp-cycles where a resident warp was unready
+	BackedOffSum  int64 // per-cycle sum of warps in backed-off state
+	ResidentSum   int64 // per-cycle sum of resident (unfinished) warps
+	SampleCycles  int64 // cycles over which the two sums were sampled
+	BackoffBlocks int64 // issue attempts rejected because pending delay > 0
+
+	Mem  Mem
+	Sync SyncEvents
+}
+
+// Mem counts memory-system events.
+type Mem struct {
+	// Transactions is the number of coalesced 128-byte segment accesses
+	// generated; SyncTransactions is the subset from AnnSync
+	// instructions (Fig. 1d).
+	Transactions     int64
+	SyncTransactions int64
+	L1Accesses       int64
+	L1Hits           int64
+	L2Accesses       int64
+	L2Hits           int64
+	DRAMAccesses     int64
+	AtomicOps        int64
+	FenceOps         int64
+}
+
+// SyncEvents counts the per-lane synchronization outcomes of Figure 2 /
+// Figure 12.
+type SyncEvents struct {
+	LockSuccess     int64 // acquire CAS returned 0 (lock taken)
+	InterWarpFail   int64 // acquire failed; holder in a different warp
+	IntraWarpFail   int64 // acquire failed; holder in the same warp
+	WaitExitSuccess int64 // wait condition satisfied, lane leaves loop
+	WaitExitFail    int64 // wait condition unsatisfied, lane spins again
+	LockRelease     int64
+}
+
+// Add merges o into s.
+func (s *Sim) Add(o *Sim) {
+	s.Cycles = max64(s.Cycles, o.Cycles)
+	s.WarpInstrs += o.WarpInstrs
+	s.ThreadInstrs += o.ThreadInstrs
+	s.SyncThreadInstrs += o.SyncThreadInstrs
+	s.SIBInstrs += o.SIBInstrs
+	s.ActiveLaneSum += o.ActiveLaneSum
+	s.IssueCycles += o.IssueCycles
+	s.IdleCycles += o.IdleCycles
+	s.StallTotal += o.StallTotal
+	s.BackedOffSum += o.BackedOffSum
+	s.ResidentSum += o.ResidentSum
+	s.SampleCycles += o.SampleCycles
+	s.BackoffBlocks += o.BackoffBlocks
+	s.Mem.add(&o.Mem)
+	s.Sync.add(&o.Sync)
+}
+
+func (m *Mem) add(o *Mem) {
+	m.Transactions += o.Transactions
+	m.SyncTransactions += o.SyncTransactions
+	m.L1Accesses += o.L1Accesses
+	m.L1Hits += o.L1Hits
+	m.L2Accesses += o.L2Accesses
+	m.L2Hits += o.L2Hits
+	m.DRAMAccesses += o.DRAMAccesses
+	m.AtomicOps += o.AtomicOps
+	m.FenceOps += o.FenceOps
+}
+
+func (e *SyncEvents) add(o *SyncEvents) {
+	e.LockSuccess += o.LockSuccess
+	e.InterWarpFail += o.InterWarpFail
+	e.IntraWarpFail += o.IntraWarpFail
+	e.WaitExitSuccess += o.WaitExitSuccess
+	e.WaitExitFail += o.WaitExitFail
+	e.LockRelease += o.LockRelease
+}
+
+// SIMDEfficiency returns average active lanes per issued instruction as a
+// fraction of warp width.
+func (s *Sim) SIMDEfficiency() float64 {
+	if s.WarpInstrs == 0 {
+		return 0
+	}
+	return float64(s.ActiveLaneSum) / float64(32*s.WarpInstrs)
+}
+
+// SyncInstrFraction returns the Figure 1c overhead fraction.
+func (s *Sim) SyncInstrFraction() float64 {
+	if s.ThreadInstrs == 0 {
+		return 0
+	}
+	return float64(s.SyncThreadInstrs) / float64(s.ThreadInstrs)
+}
+
+// UsefulThreadInstrs returns ThreadInstrs minus synchronization overhead.
+func (s *Sim) UsefulThreadInstrs() int64 { return s.ThreadInstrs - s.SyncThreadInstrs }
+
+// SyncMemFraction returns the Figure 1d traffic fraction.
+func (s *Sim) SyncMemFraction() float64 {
+	if s.Mem.Transactions == 0 {
+		return 0
+	}
+	return float64(s.Mem.SyncTransactions) / float64(s.Mem.Transactions)
+}
+
+// BackedOffFraction returns the average fraction of resident warps in the
+// backed-off state (Fig. 11).
+func (s *Sim) BackedOffFraction() float64 {
+	if s.ResidentSum == 0 {
+		return 0
+	}
+	return float64(s.BackedOffSum) / float64(s.ResidentSum)
+}
+
+// LockAttempts returns total lock-acquire lane attempts.
+func (e *SyncEvents) LockAttempts() int64 {
+	return e.LockSuccess + e.InterWarpFail + e.IntraWarpFail
+}
+
+// WaitAttempts returns total wait-exit lane attempts.
+func (e *SyncEvents) WaitAttempts() int64 { return e.WaitExitSuccess + e.WaitExitFail }
+
+// FailureRate returns failed acquire attempts per successful acquire.
+func (e *SyncEvents) FailureRate() float64 {
+	if e.LockSuccess == 0 {
+		return 0
+	}
+	return float64(e.InterWarpFail+e.IntraWarpFail) / float64(e.LockSuccess)
+}
+
+// String summarizes headline numbers for logging.
+func (s *Sim) String() string {
+	return fmt.Sprintf("cycles=%d warpInstrs=%d threadInstrs=%d (sync %.1f%%) simd=%.1f%% mem=%d (sync %.1f%%) locks[s=%d interF=%d intraF=%d] wait[s=%d f=%d]",
+		s.Cycles, s.WarpInstrs, s.ThreadInstrs, 100*s.SyncInstrFraction(),
+		100*s.SIMDEfficiency(), s.Mem.Transactions, 100*s.SyncMemFraction(),
+		s.Sync.LockSuccess, s.Sync.InterWarpFail, s.Sync.IntraWarpFail,
+		s.Sync.WaitExitSuccess, s.Sync.WaitExitFail)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddMerges(t *testing.T) {
+	a := Sim{Cycles: 100, WarpInstrs: 10, ThreadInstrs: 200, SyncThreadInstrs: 50,
+		ActiveLaneSum: 200, BackedOffSum: 5, ResidentSum: 10, SampleCycles: 100}
+	b := Sim{Cycles: 150, WarpInstrs: 20, ThreadInstrs: 100, SyncThreadInstrs: 25,
+		ActiveLaneSum: 100, BackedOffSum: 15, ResidentSum: 30, SampleCycles: 100}
+	a.Mem = Mem{Transactions: 7, SyncTransactions: 3, L1Accesses: 5, L1Hits: 2}
+	b.Mem = Mem{Transactions: 3, SyncTransactions: 1, DRAMAccesses: 9}
+	a.Sync = SyncEvents{LockSuccess: 1, InterWarpFail: 2}
+	b.Sync = SyncEvents{LockSuccess: 3, IntraWarpFail: 4, WaitExitSuccess: 5, WaitExitFail: 6}
+
+	a.Add(&b)
+	if a.Cycles != 150 {
+		t.Errorf("Cycles should take the max: %d", a.Cycles)
+	}
+	if a.WarpInstrs != 30 || a.ThreadInstrs != 300 || a.SyncThreadInstrs != 75 {
+		t.Errorf("instruction counters wrong: %+v", a)
+	}
+	if a.Mem.Transactions != 10 || a.Mem.SyncTransactions != 4 || a.Mem.DRAMAccesses != 9 {
+		t.Errorf("mem counters wrong: %+v", a.Mem)
+	}
+	if a.Sync.LockSuccess != 4 || a.Sync.InterWarpFail != 2 || a.Sync.IntraWarpFail != 4 {
+		t.Errorf("sync counters wrong: %+v", a.Sync)
+	}
+}
+
+func TestDerivedMetrics(t *testing.T) {
+	s := Sim{WarpInstrs: 10, ActiveLaneSum: 160, ThreadInstrs: 160, SyncThreadInstrs: 40}
+	if got := s.SIMDEfficiency(); got != 0.5 {
+		t.Errorf("SIMD = %f, want 0.5", got)
+	}
+	if got := s.SyncInstrFraction(); got != 0.25 {
+		t.Errorf("sync frac = %f", got)
+	}
+	if got := s.UsefulThreadInstrs(); got != 120 {
+		t.Errorf("useful = %d", got)
+	}
+	s.Mem = Mem{Transactions: 10, SyncTransactions: 4}
+	if got := s.SyncMemFraction(); got != 0.4 {
+		t.Errorf("sync mem frac = %f", got)
+	}
+	s.BackedOffSum, s.ResidentSum = 25, 100
+	if got := s.BackedOffFraction(); got != 0.25 {
+		t.Errorf("backed-off frac = %f", got)
+	}
+}
+
+func TestZeroDivisionSafety(t *testing.T) {
+	var s Sim
+	if s.SIMDEfficiency() != 0 || s.SyncInstrFraction() != 0 ||
+		s.SyncMemFraction() != 0 || s.BackedOffFraction() != 0 {
+		t.Fatal("zero-value stats must not panic or return NaN")
+	}
+	var e SyncEvents
+	if e.FailureRate() != 0 {
+		t.Fatal("failure rate with no successes must be 0")
+	}
+}
+
+func TestSyncEventTotals(t *testing.T) {
+	e := SyncEvents{LockSuccess: 2, InterWarpFail: 3, IntraWarpFail: 1,
+		WaitExitSuccess: 4, WaitExitFail: 6}
+	if e.LockAttempts() != 6 {
+		t.Errorf("lock attempts = %d", e.LockAttempts())
+	}
+	if e.WaitAttempts() != 10 {
+		t.Errorf("wait attempts = %d", e.WaitAttempts())
+	}
+	if e.FailureRate() != 2 {
+		t.Errorf("failure rate = %f", e.FailureRate())
+	}
+}
+
+func TestAddCommutativeOnCounters(t *testing.T) {
+	// Property: merging a then b equals merging b then a (Cycles uses max,
+	// everything else sums — both commutative).
+	f := func(a1, a2, b1, b2 uint16) bool {
+		x := Sim{Cycles: int64(a1), ThreadInstrs: int64(a2)}
+		y := Sim{Cycles: int64(b1), ThreadInstrs: int64(b2)}
+		x1, y1 := x, y
+		x1.Add(&y)
+		y1.Add(&x)
+		return x1.Cycles == y1.Cycles && x1.ThreadInstrs == y1.ThreadInstrs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringContainsHeadline(t *testing.T) {
+	s := Sim{Cycles: 42, WarpInstrs: 7}
+	if !strings.Contains(s.String(), "cycles=42") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
