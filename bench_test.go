@@ -106,6 +106,7 @@ func BenchmarkSimulator(b *testing.B) {
 					opt.BOWS = DefaultBOWS()
 				}
 				var simCycles int64
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					res, err := Run(opt, k)

@@ -25,6 +25,7 @@ func main() {
 		name    = flag.String("exp", "all", "experiment name or 'all'")
 		quick   = flag.Bool("quick", false, "use reduced kernel sizes")
 		sms     = flag.Int("sms", 0, "override simulated SM count (0 = experiment default)")
+		jobs    = flag.Int("j", 0, "simulations to run concurrently (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
 		verbose = flag.Bool("v", false, "print per-run progress")
 		list    = flag.Bool("list", false, "list experiments and exit")
 	)
@@ -37,7 +38,7 @@ func main() {
 		return
 	}
 
-	cfg := exp.Cfg{SMs: *sms, Quick: *quick}
+	cfg := exp.Cfg{SMs: *sms, Quick: *quick, Jobs: *jobs}
 	if *verbose {
 		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  ..", line) }
 	}

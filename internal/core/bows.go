@@ -195,13 +195,23 @@ type Wrapped struct {
 	base  sched.Policy
 	bows  *BOWS
 	queue []int // backed-off FIFO for this unit's slots
+
+	// curReady is the ready predicate of the Pick in progress; filtered
+	// is the backed-off-excluding wrapper built once at Wrap time so Pick
+	// allocates no closure per cycle.
+	curReady func(int) bool
+	filtered func(int) bool
 }
 
 var _ sched.Policy = (*Wrapped)(nil)
 
 // Wrap attaches BOWS arbitration to a base policy for one scheduler unit.
 func Wrap(base sched.Policy, b *BOWS) *Wrapped {
-	return &Wrapped{base: base, bows: b}
+	w := &Wrapped{base: base, bows: b}
+	w.filtered = func(slot int) bool {
+		return !w.bows.backedOff[slot] && w.curReady(slot)
+	}
+	return w
 }
 
 // Name implements sched.Policy.
@@ -209,9 +219,8 @@ func (w *Wrapped) Name() string { return w.base.Name() + "+BOWS" }
 
 // Pick implements sched.Policy.
 func (w *Wrapped) Pick(cycle int64, ready func(int) bool) int {
-	if s := w.base.Pick(cycle, func(slot int) bool {
-		return !w.bows.backedOff[slot] && ready(slot)
-	}); s >= 0 {
+	w.curReady = ready
+	if s := w.base.Pick(cycle, w.filtered); s >= 0 {
 		return s
 	}
 	for _, s := range w.queue {

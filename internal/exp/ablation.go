@@ -42,15 +42,25 @@ func Ablation(c Cfg) (*AblationResult, error) {
 			return b
 		}(),
 	}
+	suite := c.syncSuite()
+	var specs []runSpec
+	for _, k := range suite {
+		for _, bows := range configs {
+			specs = append(specs, runSpec{gpu, config.GTO, bows, config.DefaultDDOS(), k})
+		}
+	}
+	outs := c.runAll(specs)
+	if err := firstErr(outs); err != nil {
+		return nil, err
+	}
 	gm := make([][]float64, len(configs))
-	for _, k := range c.syncSuite() {
+	idx := 0
+	for _, k := range suite {
 		r.Kernels = append(r.Kernels, k.Name)
 		var times []float64
-		for i, bows := range configs {
-			res, err := run(gpu, config.GTO, bows, config.DefaultDDOS(), k)
-			if err != nil {
-				return nil, err
-			}
+		for i := range configs {
+			res := outs[idx].res
+			idx++
 			times = append(times, float64(res.Stats.Cycles))
 			c.note("ablation %s %s: %d cycles", k.Name, r.Columns[i], res.Stats.Cycles)
 		}

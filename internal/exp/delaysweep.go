@@ -42,14 +42,31 @@ func DelaySweep(c Cfg) (*DelaySweepResult, error) {
 	}
 	r.Columns = append(r.Columns, "BOWS(Adaptive)")
 
-	for _, k := range c.syncSuite() {
+	// Per kernel: GTO baseline, each fixed limit, then adaptive.
+	bowsCols := []config.BOWS{bowsOff()}
+	for _, d := range DelayLimits {
+		bowsCols = append(bowsCols, config.FixedBOWS(d))
+	}
+	bowsCols = append(bowsCols, config.DefaultBOWS())
+
+	suite := c.syncSuite()
+	var specs []runSpec
+	for _, k := range suite {
+		for _, bows := range bowsCols {
+			specs = append(specs, runSpec{gpu, config.GTO, bows, config.DefaultDDOS(), k})
+		}
+	}
+	outs := c.runAll(specs)
+	if err := firstErr(outs); err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, k := range suite {
 		r.Kernels = append(r.Kernels, k.Name)
 		var pts []DelayPoint
-		addRun := func(bows config.BOWS) error {
-			res, err := run(gpu, config.GTO, bows, config.DefaultDDOS(), k)
-			if err != nil {
-				return err
-			}
+		for _, bows := range bowsCols {
+			res := outs[idx].res
+			idx++
 			var limit int64
 			for _, fl := range res.FinalDelayLimits {
 				if fl > limit {
@@ -66,18 +83,6 @@ func DelaySweep(c Cfg) (*DelaySweepResult, error) {
 				FinalLimit:   limit,
 			})
 			c.note("delaysweep %s %s: %d cycles", k.Name, bows.Mode, res.Stats.Cycles)
-			return nil
-		}
-		if err := addRun(bowsOff()); err != nil {
-			return nil, err
-		}
-		for _, d := range DelayLimits {
-			if err := addRun(config.FixedBOWS(d)); err != nil {
-				return nil, err
-			}
-		}
-		if err := addRun(config.DefaultBOWS()); err != nil {
-			return nil, err
 		}
 		r.Points[k.Name] = pts
 	}

@@ -38,6 +38,20 @@ func ExecEnergy(c Cfg, gpu config.GPU, label string) (*ExecEnergyResult, error) 
 	}
 	coeff := energy.ByConfigName(gpu.Name)
 	suite := c.syncSuite()
+	var specs []runSpec
+	for _, k := range suite {
+		for _, kind := range config.Schedulers {
+			for _, withBOWS := range []bool{false, true} {
+				bows := bowsOff()
+				if withBOWS {
+					bows = config.DefaultBOWS()
+				}
+				specs = append(specs, runSpec{gpu, kind, bows, config.DefaultDDOS(), k})
+			}
+		}
+	}
+	outs := c.runAll(specs)
+	idx := 0
 	for _, k := range suite {
 		r.Kernels = append(r.Kernels, k.Name)
 		times := make([]float64, len(r.Columns))
@@ -45,14 +59,12 @@ func ExecEnergy(c Cfg, gpu config.GPU, label string) (*ExecEnergyResult, error) 
 		col := 0
 		for _, kind := range config.Schedulers {
 			for _, withBOWS := range []bool{false, true} {
-				bows := bowsOff()
-				if withBOWS {
-					bows = config.DefaultBOWS()
-				}
-				res, err := run(gpu, kind, bows, config.DefaultDDOS(), k)
-				if err != nil {
+				o := outs[idx]
+				idx++
+				res := o.res
+				if o.err != nil {
 					if res == nil {
-						return nil, fmt.Errorf("%s %s/%v: %w", label, k.Name, kind, err)
+						return nil, fmt.Errorf("%s %s/%v: %w", label, k.Name, kind, o.err)
 					}
 					// Watchdog abort: treat as "at least this many cycles".
 					c.note("%s %s %s: watchdog at %d cycles (lower bound)", label, k.Name, kind, res.Stats.Cycles)

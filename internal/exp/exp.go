@@ -25,7 +25,13 @@ type Cfg struct {
 	SMs int
 	// Quick selects the reduced kernel sizes (used by tests/benches).
 	Quick bool
-	// Progress, when non-nil, receives one line per completed run.
+	// Jobs bounds the worker pool running an experiment's independent
+	// simulations concurrently (cmd/experiments -j). 0 means GOMAXPROCS;
+	// 1 runs strictly serially. Results and rendered tables are
+	// byte-identical for every value (see runAll).
+	Jobs int
+	// Progress, when non-nil, receives one line per completed run. It is
+	// never called from more than one goroutine at a time.
 	Progress func(string)
 }
 

@@ -37,27 +37,31 @@ func Fig1(c Cfg) (*Fig1Result, error) {
 	}
 	cpu := cpuref.DefaultCPU()
 	r := &Fig1Result{Items: items}
+	// Two runs per bucket count: the full launch and a single-warp launch
+	// for the SIMD comparison (1e), the latter with items scaled down so
+	// the run stays small.
+	var specs []runSpec
 	for _, buckets := range Fig16Buckets {
 		k := kernels.NewHashTable(kernels.HashTableConfig{
 			Items: items, Buckets: buckets, CTAs: ctas, CTAThreads: ctaThreads,
 		})
-		res, err := run(gpu, config.GTO, bowsOff(), config.DefaultDDOS(), k)
-		if err != nil {
-			return nil, err
-		}
-		// Single-warp launch for the SIMD comparison (1e): scale items
-		// down so the run stays small.
 		k1 := kernels.NewHashTable(kernels.HashTableConfig{
 			Items: items / 8, Buckets: buckets, CTAs: 1, CTAThreads: 32,
 		})
-		res1, err := run(gpu, config.GTO, bowsOff(), config.DefaultDDOS(), k1)
-		if err != nil {
-			return nil, err
-		}
+		specs = append(specs,
+			runSpec{gpu, config.GTO, bowsOff(), config.DefaultDDOS(), k},
+			runSpec{gpu, config.GTO, bowsOff(), config.DefaultDDOS(), k1})
+	}
+	outs := c.runAll(specs)
+	if err := firstErr(outs); err != nil {
+		return nil, err
+	}
+	for i, buckets := range Fig16Buckets {
+		res, res1 := outs[2*i].res, outs[2*i+1].res
 		// CPU reference uses the same key stream length.
 		keys := make([]uint32, items)
-		for i := range keys {
-			keys[i] = uint32(i * 2654435761) // any stream; cost model only
+		for j := range keys {
+			keys[j] = uint32(j * 2654435761) // any stream; cost model only
 		}
 		cres := cpu.RunHashtable(keys, buckets)
 

@@ -35,20 +35,21 @@ func Fig14(c Cfg) (*Fig14Result, error) {
 	modDDOS := config.DefaultDDOS()
 	modDDOS.Hash = config.HashModulo
 	var xs, ms []float64
-	for _, k := range c.syncFreeSuite() {
+	suite := c.syncFreeSuite()
+	var specs []runSpec
+	for _, k := range suite {
+		specs = append(specs,
+			runSpec{gpu, config.GTO, bowsOff(), config.DefaultDDOS(), k},
+			runSpec{gpu, config.GTO, config.FixedBOWS(5000), config.DefaultDDOS(), k},
+			runSpec{gpu, config.GTO, config.FixedBOWS(5000), modDDOS, k})
+	}
+	outs := c.runAll(specs)
+	if err := firstErr(outs); err != nil {
+		return nil, err
+	}
+	for i, k := range suite {
 		r.Kernels = append(r.Kernels, k.Name)
-		base, err := run(gpu, config.GTO, bowsOff(), config.DefaultDDOS(), k)
-		if err != nil {
-			return nil, err
-		}
-		xor, err := run(gpu, config.GTO, config.FixedBOWS(5000), config.DefaultDDOS(), k)
-		if err != nil {
-			return nil, err
-		}
-		mod, err := run(gpu, config.GTO, config.FixedBOWS(5000), modDDOS, k)
-		if err != nil {
-			return nil, err
-		}
+		base, xor, mod := outs[3*i].res, outs[3*i+1].res, outs[3*i+2].res
 		r.NormXOR[k.Name] = float64(xor.Stats.Cycles) / float64(base.Stats.Cycles)
 		r.NormMOD[k.Name] = float64(mod.Stats.Cycles) / float64(base.Stats.Cycles)
 		r.FalseXOR[k.Name] = xor.Detection.FalseDetected

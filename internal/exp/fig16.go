@@ -33,27 +33,28 @@ func Fig16(c Cfg) (*Fig16Result, error) {
 		items, ctas, ctaThreads = 6144, 24, 128
 	}
 	r := &Fig16Result{}
+	// Per bucket count: GTO baseline, GTO+BOWS, and ideal blocking (the
+	// paper's HQL proxy, Fig. 16b) — the same kernel on the machine with
+	// the blocking queue-lock unit enabled, where acquires park at the L2
+	// and never retry.
+	qGPU := gpu
+	qGPU.Mem.QueueLocks = true
+	var specs []runSpec
 	for _, buckets := range Fig16Buckets {
 		k := kernels.NewHashTable(kernels.HashTableConfig{
 			Items: items, Buckets: buckets, CTAs: ctas, CTAThreads: ctaThreads,
 		})
-		base, err := run(gpu, config.GTO, bowsOff(), config.DefaultDDOS(), k)
-		if err != nil {
-			return nil, err
-		}
-		bows, err := run(gpu, config.GTO, config.DefaultBOWS(), config.DefaultDDOS(), k)
-		if err != nil {
-			return nil, err
-		}
-		// Ideal blocking (the paper's HQL proxy, Fig. 16b): run the same
-		// kernel on the machine with the blocking queue-lock unit enabled
-		// — acquires park at the L2 and never retry.
-		qGPU := gpu
-		qGPU.Mem.QueueLocks = true
-		ideal, err := run(qGPU, config.GTO, bowsOff(), config.DefaultDDOS(), k)
-		if err != nil {
-			return nil, err
-		}
+		specs = append(specs,
+			runSpec{gpu, config.GTO, bowsOff(), config.DefaultDDOS(), k},
+			runSpec{gpu, config.GTO, config.DefaultBOWS(), config.DefaultDDOS(), k},
+			runSpec{qGPU, config.GTO, bowsOff(), config.DefaultDDOS(), k})
+	}
+	outs := c.runAll(specs)
+	if err := firstErr(outs); err != nil {
+		return nil, err
+	}
+	for i, buckets := range Fig16Buckets {
+		base, bows, ideal := outs[3*i].res, outs[3*i+1].res, outs[3*i+2].res
 		r.Buckets = append(r.Buckets, buckets)
 		r.Speedup = append(r.Speedup, float64(base.Stats.Cycles)/float64(bows.Stats.Cycles))
 		r.BOWSInstr = append(r.BOWSInstr, float64(bows.Stats.ThreadInstrs)/float64(base.Stats.ThreadInstrs))

@@ -21,14 +21,24 @@ type Fig2Result struct {
 func Fig2(c Cfg) (*Fig2Result, error) {
 	gpu := c.fermi()
 	r := &Fig2Result{Events: map[string][]stats.SyncEvents{}}
-	for _, k := range c.syncSuite() {
+	suite := c.syncSuite()
+	var specs []runSpec
+	for _, k := range suite {
+		for _, kind := range config.Schedulers {
+			specs = append(specs, runSpec{gpu, kind, bowsOff(), config.DefaultDDOS(), k})
+		}
+	}
+	outs := c.runAll(specs)
+	if err := firstErr(outs); err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, k := range suite {
 		r.Kernels = append(r.Kernels, k.Name)
 		var evs []stats.SyncEvents
 		for _, kind := range config.Schedulers {
-			res, err := run(gpu, kind, bowsOff(), config.DefaultDDOS(), k)
-			if err != nil {
-				return nil, err
-			}
+			res := outs[i].res
+			i++
 			evs = append(evs, res.Stats.Sync)
 			c.note("fig2 %s %s: attempts=%d", k.Name, kind,
 				res.Stats.Sync.LockAttempts()+res.Stats.Sync.WaitAttempts())

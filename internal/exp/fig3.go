@@ -32,17 +32,26 @@ func Fig3(c Cfg) (*Fig3Result, error) {
 		buckets = []int{128, 512}
 	}
 	r := &Fig3Result{Factors: Fig3Factors}
+	var specs []runSpec
 	for _, bk := range buckets {
-		var row []int64
 		for _, df := range Fig3Factors {
 			k := kernels.NewHashTable(kernels.HashTableConfig{
 				Items: items, Buckets: bk, CTAs: ctas, CTAThreads: ctaThreads,
 				DelayFactor: df,
 			})
-			res, err := run(gpu, config.GTO, bowsOff(), config.DefaultDDOS(), k)
-			if err != nil {
-				return nil, err
-			}
+			specs = append(specs, runSpec{gpu, config.GTO, bowsOff(), config.DefaultDDOS(), k})
+		}
+	}
+	outs := c.runAll(specs)
+	if err := firstErr(outs); err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, bk := range buckets {
+		var row []int64
+		for _, df := range Fig3Factors {
+			res := outs[i].res
+			i++
 			row = append(row, res.Stats.Cycles)
 			c.note("fig3 buckets=%d delay=%d: %d cycles", bk, df, res.Stats.Cycles)
 		}

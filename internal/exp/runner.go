@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"warpsched/internal/config"
+	"warpsched/internal/kernels"
+	"warpsched/internal/sim"
+)
+
+// runSpec is one fully-specified simulation: machine, scheduler, BOWS,
+// DDOS and kernel. Every experiment's sweep is a slice of these.
+type runSpec struct {
+	gpu   config.GPU
+	sched config.SchedulerKind
+	bows  config.BOWS
+	ddos  config.DDOS
+	k     *kernels.Kernel
+}
+
+// runOut pairs a spec's result with its error. On a watchdog abort res
+// holds the partial state (see run), mirroring the serial path.
+type runOut struct {
+	res *sim.Result
+	err error
+}
+
+// firstErr returns the first error in submission order, or nil. Using
+// submission order keeps the reported error independent of worker timing.
+func firstErr(outs []runOut) error {
+	for _, o := range outs {
+		if o.err != nil {
+			return o.err
+		}
+	}
+	return nil
+}
+
+// runAll executes the specs on a bounded worker pool and returns results
+// in submission order. Each sim.Engine is self-contained (own memory
+// system, own SM state) and every kernel's Setup/Verify closures only
+// read their captured inputs, so runs are independent: parallelism is
+// across engines, never within one, and each run's cycle-level
+// determinism is untouched. Results — and therefore every table rendered
+// from them — are byte-identical for any worker count.
+//
+// Progress lines are funneled through a single channel drained by one
+// goroutine, so Cfg.Progress is never called concurrently. Completion
+// lines arrive in completion order (that much is timing-dependent);
+// per-run detail lines that experiments emit while collecting results
+// stay in submission order.
+func (c Cfg) runAll(specs []runSpec) []runOut {
+	out := make([]runOut, len(specs))
+	jobs := c.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(specs) {
+		jobs = len(specs)
+	}
+	if jobs <= 1 {
+		for i := range specs {
+			out[i] = c.runOne(&specs[i], i, len(specs), nil)
+		}
+		return out
+	}
+
+	var progress chan string
+	drained := make(chan struct{})
+	if c.Progress != nil {
+		progress = make(chan string, jobs)
+		go func() {
+			for line := range progress {
+				c.Progress(line)
+			}
+			close(drained)
+		}()
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = c.runOne(&specs[i], i, len(specs), progress)
+			}
+		}()
+	}
+	for i := range specs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if progress != nil {
+		close(progress)
+		<-drained
+	}
+	return out
+}
+
+// runOne executes a single spec and reports its completion. With a nil
+// progress channel the line goes directly to c.note (serial path).
+func (c Cfg) runOne(sp *runSpec, i, n int, progress chan<- string) runOut {
+	res, err := run(sp.gpu, sp.sched, sp.bows, sp.ddos, sp.k)
+	o := runOut{res: res, err: err}
+	if c.Progress != nil {
+		line := fmt.Sprintf("[%d/%d] %s %s%s on %s: %s", i+1, n,
+			sp.k.Name, sp.sched, bowsTag(sp.bows), sp.gpu.Name, outcome(o))
+		if progress != nil {
+			progress <- line
+		} else {
+			c.Progress(line)
+		}
+	}
+	return o
+}
+
+func bowsTag(b config.BOWS) string {
+	if b.Mode == config.BOWSOff {
+		return ""
+	}
+	return "+BOWS"
+}
+
+func outcome(o runOut) string {
+	switch {
+	case o.err != nil && o.res != nil:
+		return fmt.Sprintf("watchdog at %d cycles", o.res.Stats.Cycles)
+	case o.err != nil:
+		return o.err.Error()
+	default:
+		return fmt.Sprintf("%d cycles", o.res.Stats.Cycles)
+	}
+}

@@ -1,0 +1,140 @@
+package exp
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"warpsched/internal/config"
+	"warpsched/internal/kernels"
+)
+
+// testSpec builds a small hashtable run for runner tests.
+func testSpec(buckets int) runSpec {
+	g := config.GTX480().Scaled(2)
+	k := kernels.NewHashTable(kernels.HashTableConfig{
+		Items: 1024, Buckets: buckets, CTAs: 4, CTAThreads: 64,
+	})
+	return runSpec{g, config.GTO, config.DefaultBOWS(), config.DefaultDDOS(), k}
+}
+
+// TestRunnerRepeatDeterminism runs the same kernel with the same options
+// twice and requires identical statistics and confirmed-SIB sets: the
+// simulator must be a pure function of its inputs, the property the
+// parallel runner's byte-identical-output guarantee rests on.
+func TestRunnerRepeatDeterminism(t *testing.T) {
+	sp := testSpec(64)
+	a, err := run(sp.gpu, sp.sched, sp.bows, sp.ddos, sp.k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp2 := testSpec(64)
+	b, err := run(sp2.gpu, sp2.sched, sp2.bows, sp2.ddos, sp2.k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Stats, b.Stats) {
+		t.Errorf("Stats differ between identical runs:\n%+v\n%+v", a.Stats, b.Stats)
+	}
+	if !reflect.DeepEqual(a.ConfirmedSIBs, b.ConfirmedSIBs) {
+		t.Errorf("ConfirmedSIBs differ: %v vs %v", a.ConfirmedSIBs, b.ConfirmedSIBs)
+	}
+}
+
+// TestRunnerJobsByteIdentical renders a full experiment at Jobs=1 and
+// Jobs=8 and requires byte-identical tables — the runner's core contract
+// (and the -j flag's documented guarantee).
+func TestRunnerJobsByteIdentical(t *testing.T) {
+	render := func(jobs int) string {
+		r, err := Fig3(Cfg{Quick: true, Jobs: jobs})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		return r.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Errorf("rendered tables differ between -j1 and -j8:\n--- j1 ---\n%s--- j8 ---\n%s", serial, parallel)
+	}
+}
+
+// TestRunnerSubmissionOrder checks that runAll places each spec's result
+// at the spec's submission index regardless of worker count and timing.
+func TestRunnerSubmissionOrder(t *testing.T) {
+	// Distinct bucket counts give distinct cycle counts; heavier runs
+	// first so completion order differs from submission order.
+	buckets := []int{16, 32, 64, 128}
+	specs := make([]runSpec, len(buckets))
+	want := make([]int64, len(buckets))
+	for i, bk := range buckets {
+		specs[i] = testSpec(bk)
+		res, err := run(specs[i].gpu, specs[i].sched, specs[i].bows, specs[i].ddos, specs[i].k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.Stats.Cycles
+	}
+	for _, jobs := range []int{1, 2, 8} {
+		outs := Cfg{Jobs: jobs}.runAll(specs)
+		if err := firstErr(outs); err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for i := range outs {
+			if outs[i].res.Stats.Cycles != want[i] {
+				t.Errorf("jobs=%d: out[%d] = %d cycles, want %d (order scrambled?)",
+					jobs, i, outs[i].res.Stats.Cycles, want[i])
+			}
+		}
+	}
+}
+
+// TestRunnerProgressSerialized exercises the progress funnel under the
+// race detector: the callback appends to an unsynchronized slice, which
+// is only safe if Cfg.Progress honors its never-called-concurrently
+// contract.
+func TestRunnerProgressSerialized(t *testing.T) {
+	specs := make([]runSpec, 6)
+	for i := range specs {
+		specs[i] = testSpec(32 << (i % 3))
+	}
+	var lines []string
+	c := Cfg{Jobs: 4, Progress: func(s string) { lines = append(lines, s) }}
+	outs := c.runAll(specs)
+	if err := firstErr(outs); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(specs) {
+		t.Fatalf("progress lines = %d, want %d:\n%v", len(lines), len(specs), lines)
+	}
+	// Each submission index appears exactly once (completion order varies).
+	seen := map[string]bool{}
+	for _, l := range lines {
+		seen[l[:len(fmt.Sprintf("[%d/%d]", 1, len(specs)))]] = true
+	}
+	if len(seen) != len(specs) {
+		t.Errorf("duplicate or missing progress indices:\n%v", lines)
+	}
+}
+
+// TestRunnerFirstErr verifies errors surface at the failing spec's
+// submission position, mirroring the serial loops the runner replaced.
+func TestRunnerFirstErr(t *testing.T) {
+	specs := []runSpec{testSpec(64), testSpec(64), testSpec(64)}
+	// Sabotage the middle spec: zero CTAs is rejected by sim.New.
+	bad := kernels.NewHashTable(kernels.HashTableConfig{
+		Items: 64, Buckets: 16, CTAs: 1, CTAThreads: 64,
+	})
+	bad.Launch.GridCTAs = 0
+	specs[1].k = bad
+	outs := Cfg{Jobs: 3}.runAll(specs)
+	if err := firstErr(outs); err == nil {
+		t.Fatal("expected an error from the sabotaged spec")
+	}
+	if outs[0].err != nil || outs[2].err != nil {
+		t.Errorf("healthy specs errored: %v / %v", outs[0].err, outs[2].err)
+	}
+	if outs[1].err == nil {
+		t.Error("sabotaged spec did not error")
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"warpsched/internal/config"
-	"warpsched/internal/core"
 )
 
 // Table1Row is one configuration of the DDOS sensitivity study: average
@@ -45,27 +44,117 @@ func Table1(c Cfg) (*Table1Result, error) {
 	gpu := c.fermi()
 	suite := append(c.syncSuite(), c.syncFreeSuite()...)
 
-	cache := map[ddosKey]Table1Row{}
-	eval := func(label string, key ddosKey) (Table1Row, error) {
-		if row, ok := cache[key]; ok {
-			row.Label = label
-			return row, nil
+	// Assemble the section layout first; duplicate keys (the base config
+	// appears in several sections) are simulated once and the cached row
+	// is relabeled per section, exactly as the serial version did.
+	type req struct {
+		label string
+		key   ddosKey
+	}
+	type section struct {
+		name string
+		reqs []req
+	}
+	var sections []section
+	base := ddosKey{hash: config.HashXOR, width: 8, threshold: 4, length: 8}
+
+	// Hashing function at t=4, l=8.
+	var reqs []req
+	for _, cfg := range []struct {
+		label string
+		hash  config.HashKind
+		width int
+	}{
+		{"XOR, m=k=4", config.HashXOR, 4},
+		{"XOR, m=k=8", config.HashXOR, 8},
+		{"MODULO, m=k=4", config.HashModulo, 4},
+		{"MODULO, m=k=8", config.HashModulo, 8},
+	} {
+		key := base
+		key.hash, key.width = cfg.hash, cfg.width
+		reqs = append(reqs, req{cfg.label, key})
+	}
+	sections = append(sections, section{"hashing function (t=4, l=8)", reqs})
+
+	// Hash width with XOR.
+	reqs = nil
+	for _, w := range []int{2, 3, 4, 8} {
+		key := base
+		key.width = w
+		reqs = append(reqs, req{fmt.Sprintf("m=k=%d", w), key})
+	}
+	sections = append(sections, section{"hashed path/value width (XOR, t=4, l=8)", reqs})
+
+	// Confidence threshold at m=k=4.
+	reqs = nil
+	for _, t := range []int{2, 4, 8, 12} {
+		key := base
+		key.width, key.threshold = 4, t
+		reqs = append(reqs, req{fmt.Sprintf("t=%d", t), key})
+	}
+	sections = append(sections, section{"confidence threshold (XOR, m=k=4, l=8)", reqs})
+
+	// History length at m=k=8.
+	reqs = nil
+	for _, l := range []int{1, 2, 4, 8} {
+		key := base
+		key.length = l
+		reqs = append(reqs, req{fmt.Sprintf("l=%d", l), key})
+	}
+	sections = append(sections, section{"history registers length (XOR, m=k=8, t=4)", reqs})
+
+	// Time sharing.
+	reqs = nil
+	for _, share := range []bool{false, true} {
+		for _, w := range []int{4, 8} {
+			key := base
+			key.width, key.share = w, share
+			sh := 0
+			if share {
+				sh = 1
+			}
+			reqs = append(reqs, req{fmt.Sprintf("sh=%d, m=k=%d", sh, w), key})
 		}
+	}
+	sections = append(sections, section{"time sharing of history registers (XOR, t=4, l=8, epoch=1000)", reqs})
+
+	// Unique keys in first-appearance order; each expands to one run per
+	// suite kernel. This is the harness's largest matrix, so the dedup
+	// matters (20 requests collapse to 19 keys x 14 kernels).
+	var order []ddosKey
+	firstLabel := map[ddosKey]string{}
+	for _, sec := range sections {
+		for _, rq := range sec.reqs {
+			if _, ok := firstLabel[rq.key]; !ok {
+				firstLabel[rq.key] = rq.label
+				order = append(order, rq.key)
+			}
+		}
+	}
+	var specs []runSpec
+	for _, key := range order {
 		d := config.DefaultDDOS()
 		d.Hash = key.hash
 		d.PathBits, d.ValueBits = key.width, key.width
 		d.ConfidenceThreshold = key.threshold
 		d.HistoryLen = key.length
 		d.TimeShare = key.share
-		var agg core.DetectionMetrics
-		var tsdrs, fsdrs, tdprs, fdprs []float64
 		for _, k := range suite {
-			res, err := run(gpu, config.GTO, bowsOff(), d, k)
-			if err != nil {
-				return Table1Row{}, fmt.Errorf("table1 %s on %s: %w", label, k.Name, err)
+			specs = append(specs, runSpec{gpu, config.GTO, bowsOff(), d, k})
+		}
+	}
+	outs := c.runAll(specs)
+
+	cache := map[ddosKey]Table1Row{}
+	for i, key := range order {
+		label := firstLabel[key]
+		var tsdrs, fsdrs, tdprs, fdprs []float64
+		for j, k := range suite {
+			o := outs[i*len(suite)+j]
+			if o.err != nil {
+				return nil, fmt.Errorf("table1 %s on %s: %w", label, k.Name, o.err)
 			}
-			det := res.Detection
-			agg.Add(det)
+			det := o.res.Detection
 			if det.TrueSeen > 0 {
 				tsdrs = append(tsdrs, det.TSDR())
 				if det.TrueDetected > 0 {
@@ -86,97 +175,19 @@ func Table1(c Cfg) (*Table1Result, error) {
 		}
 		cache[key] = row
 		c.note("table1 %s: TSDR=%.3f FSDR=%.3f", label, row.TSDR, row.FSDR)
-		return row, nil
 	}
 
 	res := &Table1Result{Sections: map[string][]Table1Row{}}
-	addSection := func(name string, rows []Table1Row) {
-		res.Order = append(res.Order, name)
-		res.Sections[name] = rows
-	}
-
-	base := ddosKey{hash: config.HashXOR, width: 8, threshold: 4, length: 8}
-
-	// Hashing function at t=4, l=8.
-	var rows []Table1Row
-	for _, cfg := range []struct {
-		label string
-		hash  config.HashKind
-		width int
-	}{
-		{"XOR, m=k=4", config.HashXOR, 4},
-		{"XOR, m=k=8", config.HashXOR, 8},
-		{"MODULO, m=k=4", config.HashModulo, 4},
-		{"MODULO, m=k=8", config.HashModulo, 8},
-	} {
-		key := base
-		key.hash, key.width = cfg.hash, cfg.width
-		row, err := eval(cfg.label, key)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	addSection("hashing function (t=4, l=8)", rows)
-
-	// Hash width with XOR.
-	rows = nil
-	for _, w := range []int{2, 3, 4, 8} {
-		key := base
-		key.width = w
-		row, err := eval(fmt.Sprintf("m=k=%d", w), key)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	addSection("hashed path/value width (XOR, t=4, l=8)", rows)
-
-	// Confidence threshold at m=k=4.
-	rows = nil
-	for _, t := range []int{2, 4, 8, 12} {
-		key := base
-		key.width, key.threshold = 4, t
-		row, err := eval(fmt.Sprintf("t=%d", t), key)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	addSection("confidence threshold (XOR, m=k=4, l=8)", rows)
-
-	// History length at m=k=8.
-	rows = nil
-	for _, l := range []int{1, 2, 4, 8} {
-		key := base
-		key.length = l
-		row, err := eval(fmt.Sprintf("l=%d", l), key)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	addSection("history registers length (XOR, m=k=8, t=4)", rows)
-
-	// Time sharing.
-	rows = nil
-	for _, share := range []bool{false, true} {
-		for _, w := range []int{4, 8} {
-			key := base
-			key.width, key.share = w, share
-			sh := 0
-			if share {
-				sh = 1
-			}
-			row, err := eval(fmt.Sprintf("sh=%d, m=k=%d", sh, w), key)
-			if err != nil {
-				return nil, err
-			}
+	for _, sec := range sections {
+		var rows []Table1Row
+		for _, rq := range sec.reqs {
+			row := cache[rq.key]
+			row.Label = rq.label
 			rows = append(rows, row)
 		}
+		res.Order = append(res.Order, sec.name)
+		res.Sections[sec.name] = rows
 	}
-	addSection("time sharing of history registers (XOR, t=4, l=8, epoch=1000)", rows)
-
 	return res, nil
 }
 

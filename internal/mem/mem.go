@@ -13,7 +13,6 @@
 package mem
 
 import (
-	"container/heap"
 	"fmt"
 
 	"warpsched/internal/config"
@@ -45,8 +44,17 @@ type Request struct {
 	Vol      bool
 	Accesses []Access
 	// Done is invoked exactly once when every segment has been serviced;
-	// Accesses[i].Result fields are valid by then.
+	// Accesses[i].Result fields are valid by then. The memory system never
+	// touches the request after Done returns, so pooling callers may
+	// recycle it there.
 	Done func(*Request)
+	// Dst, WritesReg and Owner carry the issuing core's register-writeback
+	// state. They are opaque to the memory system; they exist so a single
+	// long-lived Done function can service every request without a
+	// per-request closure.
+	Dst       isa.Reg
+	WritesReg bool
+	Owner     any
 
 	remaining int
 	// Queue-lock bookkeeping (QueueLocks mode): a request either acquires
@@ -67,25 +75,80 @@ type segment struct {
 	parked int
 }
 
-// event is a scheduled completion.
+// evKind tags a scheduled completion. Events carry a kind and a segment
+// instead of a closure so that scheduling is allocation-free on the
+// simulated hot path.
+type evKind uint8
+
+const (
+	evFinish   evKind = iota // finish(seg)
+	evL1Hit                  // applyLoads(seg); finish(seg)
+	evDRAMDone               // dramDone(seg)
+	evLoadFill               // loadFilled(seg)
+	evVolFill                // volFilled(seg)
+)
+
+// event is a scheduled completion, ordered by (at, seq).
 type event struct {
-	at  int64
-	seq int64
-	fn  func()
+	at   int64
+	seq  int64
+	kind evKind
+	seg  *segment
 }
 
+// eventHeap is a hand-rolled binary min-heap. container/heap is avoided
+// because its any-typed interface boxes every event on Push.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// popRoot removes the minimum event. The caller must have checked len>0.
+func (h *eventHeap) popRoot() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release the segment pointer
+	*h = s[:n]
+	s = s[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.less(l, min) {
+			min = l
+		}
+		if r < n && s.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
+
 func (h eventHeap) Peek() (int64, bool) {
 	if len(h) == 0 {
 		return 0, false
@@ -106,6 +169,10 @@ type System struct {
 	events    eventHeap
 	seq       int64
 	cycle     int64
+
+	// segFree pools retired segments (and their lane-index backing
+	// arrays): the steady-state simulated cycle allocates nothing.
+	segFree []*segment
 
 	// atomBusy serializes atomics per line at the L2 atomic unit.
 	atomBusy map[uint32]int64
@@ -150,6 +217,8 @@ type Port struct {
 	// outstanding counts in-flight memory instructions per warp slot
 	// (for membar draining and per-warp issue limits).
 	outstanding []int
+	// segScratch is Enqueue's coalescing scratch (reused per call).
+	segScratch []*segment
 
 	stats *stats.Mem
 	// sync receives lock-acquire outcome classifications (Fig. 2); set
@@ -214,9 +283,38 @@ func (s *System) check(addr uint32) {
 	}
 }
 
-func (s *System) schedule(at int64, fn func()) {
+func (s *System) schedule(at int64, kind evKind, seg *segment) {
 	s.seq++
-	heap.Push(&s.events, event{at: at, seq: s.seq, fn: fn})
+	s.events.push(event{at: at, seq: s.seq, kind: kind, seg: seg})
+}
+
+func (s *System) dispatch(e event) {
+	switch e.kind {
+	case evFinish:
+		s.finish(e.seg)
+	case evL1Hit:
+		s.applyLoads(e.seg)
+		s.finish(e.seg)
+	case evDRAMDone:
+		s.dramDone(e.seg)
+	case evLoadFill:
+		s.loadFilled(e.seg)
+	case evVolFill:
+		s.volFilled(e.seg)
+	}
+}
+
+// newSegment takes a segment from the pool (or allocates one) and
+// initializes it for the request.
+func (s *System) newSegment(r *Request, line uint32) *segment {
+	if n := len(s.segFree); n > 0 {
+		seg := s.segFree[n-1]
+		s.segFree[n-1] = nil
+		s.segFree = s.segFree[:n-1]
+		seg.req, seg.line, seg.lanes, seg.parked = r, line, seg.lanes[:0], 0
+		return seg
+	}
+	return &segment{req: r, line: line, lanes: make([]int, 0, 8)}
 }
 
 // Stats returns the per-SM memory counters for SM sm.
@@ -245,11 +343,22 @@ func (p *Port) Outstanding(warpSlot int) int { return p.outstanding[warpSlot] }
 // returning the segment count without enqueuing (used for LSQ admission
 // checks).
 func Coalesce(accesses []Access) int {
-	seen := make(map[uint32]struct{}, 4)
+	// A warp has at most 32 lanes, so a linear scan over the distinct
+	// lines beats a map (and allocates nothing).
+	var lines [32]uint32
+	n := 0
+scan:
 	for i := range accesses {
-		seen[accesses[i].Addr/isa.LineWords] = struct{}{}
+		line := accesses[i].Addr / isa.LineWords
+		for _, l := range lines[:n] {
+			if l == line {
+				continue scan
+			}
+		}
+		lines[n] = line
+		n++
 	}
-	return len(seen)
+	return n
 }
 
 // Enqueue accepts a warp memory instruction. The caller must have checked
@@ -262,25 +371,37 @@ func (p *Port) Enqueue(r *Request) {
 		}
 		return
 	}
-	// Coalesce preserving lane order within each segment.
-	order := make([]uint32, 0, 4)
-	byLine := make(map[uint32][]int, 4)
+	// Pooled requests arrive with stale queue-lock state.
+	r.qlAcquired, r.qlParked = false, false
+	// Coalesce preserving lane order within each segment; first-appearance
+	// order across segments. Linear scan: a warp has ≤32 lanes.
+	segs := p.segScratch[:0]
 	for i := range r.Accesses {
 		line := r.Accesses[i].Addr / isa.LineWords
-		if _, ok := byLine[line]; !ok {
-			order = append(order, line)
+		var seg *segment
+		for _, s := range segs {
+			if s.line == line {
+				seg = s
+				break
+			}
 		}
-		byLine[line] = append(byLine[line], i)
+		if seg == nil {
+			seg = p.sys.newSegment(r, line)
+			segs = append(segs, seg)
+		}
+		seg.lanes = append(seg.lanes, i)
 	}
-	r.remaining = len(order)
+	r.remaining = len(segs)
 	p.outstanding[r.WarpSlot]++
-	for _, line := range order {
-		p.lsq = append(p.lsq, &segment{req: r, line: line, lanes: byLine[line]})
+	for i, seg := range segs {
+		p.lsq = append(p.lsq, seg)
 		p.stats.Transactions++
 		if r.Ann&isa.AnnSync != 0 {
 			p.stats.SyncTransactions++
 		}
+		segs[i] = nil
 	}
+	p.segScratch = segs[:0]
 }
 
 // --- cycle advance ---
@@ -295,8 +416,7 @@ func (s *System) Tick(cycle int64) {
 		if !ok || at > cycle {
 			break
 		}
-		e := heap.Pop(&s.events).(event)
-		e.fn()
+		s.dispatch(s.events.popRoot())
 	}
 	// 2. Service the DRAM queue (bandwidth limited).
 	n := s.cfg.DRAMBw
@@ -305,7 +425,7 @@ func (s *System) Tick(cycle int64) {
 		s.dramQueue = s.dramQueue[1:]
 		n--
 		s.ports[seg.req.SM].stats.DRAMAccesses++
-		s.schedule(cycle+s.cfg.DRAMLat, func() { s.dramDone(seg) })
+		s.schedule(cycle+s.cfg.DRAMLat, evDRAMDone, seg)
 	}
 	// 3. Service the L2 queue (banked; atomics serialized per line and
 	// charged AtomLat bank tokens).
@@ -393,10 +513,7 @@ func (p *Port) inject() {
 		p.stats.L1Accesses++
 		if p.l1.Lookup(seg.line) {
 			p.stats.L1Hits++
-			s.schedule(s.cycle+s.cfg.L1HitLat, func() {
-				s.applyLoads(seg)
-				s.finish(seg)
-			})
+			s.schedule(s.cycle+s.cfg.L1HitLat, evL1Hit, seg)
 		} else {
 			if waiting, ok := p.mshr[seg.line]; ok {
 				// Merge with the outstanding miss.
@@ -424,20 +541,20 @@ func (s *System) serviceL2(seg *segment) {
 		if seg.parked > 0 {
 			break // completes via grantNext when the lock is released
 		}
-		s.schedule(s.cycle+s.cfg.L2Lat, func() { s.finish(seg) })
+		s.schedule(s.cycle+s.cfg.L2Lat, evFinish, seg)
 	case seg.req.Op == isa.OpSt:
 		p.stats.L2Accesses++
 		s.l2.Fill(seg.line)
 		s.applyStores(seg)
-		s.schedule(s.cycle+s.cfg.L2Lat, func() { s.finish(seg) })
+		s.schedule(s.cycle+s.cfg.L2Lat, evFinish, seg)
 	default: // load (L1 miss or volatile)
 		p.stats.L2Accesses++
 		if s.l2.Lookup(seg.line) {
 			p.stats.L2Hits++
 			if seg.req.Vol {
-				s.schedule(s.cycle+s.cfg.L2Lat, func() { s.volFilled(seg) })
+				s.schedule(s.cycle+s.cfg.L2Lat, evVolFill, seg)
 			} else {
-				s.schedule(s.cycle+s.cfg.L2Lat, func() { s.loadFilled(seg) })
+				s.schedule(s.cycle+s.cfg.L2Lat, evLoadFill, seg)
 			}
 		} else {
 			s.dramQueue = append(s.dramQueue, seg)
@@ -531,8 +648,7 @@ func (s *System) grantNext(addr uint32) {
 	}
 	w.seg.parked--
 	if w.seg.parked == 0 {
-		seg := w.seg
-		s.schedule(s.cycle+s.cfg.L2Lat, func() { s.finish(seg) })
+		s.schedule(s.cycle+s.cfg.L2Lat, evFinish, w.seg)
 	}
 }
 
@@ -602,8 +718,13 @@ func (s *System) applyAtomics(seg *segment) {
 	}
 }
 
+// finish retires one segment; when it is the request's last, the request
+// completes. finish is every segment's unique end of life, so the segment
+// returns to the pool here.
 func (s *System) finish(seg *segment) {
 	r := seg.req
+	seg.req = nil
+	s.segFree = append(s.segFree, seg)
 	r.remaining--
 	if r.remaining == 0 {
 		s.ports[r.SM].outstanding[r.WarpSlot]--

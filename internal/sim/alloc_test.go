@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+
+	"warpsched/internal/config"
+	"warpsched/internal/isa"
+)
+
+// aluLoopProg builds a pure-ALU countdown loop: iters iterations of a few
+// arithmetic instructions per thread, no memory traffic.
+func aluLoopProg(t *testing.T) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("alu-loop")
+	b.LdParam(10, 0) // iters
+	b.Mov(2, isa.I(0))
+	b.Mov(3, isa.S(isa.SpecGTID))
+	b.While(0, false,
+		func() { b.Setp(isa.LT, 0, isa.R(2), isa.R(10)) },
+		func() {
+			b.Add(3, isa.R(3), isa.I(7))
+			b.Xor(3, isa.R(3), isa.R(2))
+			b.Add(2, isa.R(2), isa.I(1))
+		})
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p
+}
+
+// aluRun executes the loop kernel at the given iteration count and
+// returns the heap allocations performed by Run (not construction) and
+// the warp instructions issued.
+func aluRun(t *testing.T, iters uint32) (allocs uint64, instrs int64) {
+	t.Helper()
+	launch := Launch{
+		Prog:       aluLoopProg(t),
+		GridCTAs:   4,
+		CTAThreads: 64,
+		Params:     []uint32{iters},
+		MemWords:   64,
+	}
+	eng, err := New(testOptions(config.GTO), launch)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	res, err := eng.Run()
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return m1.Mallocs - m0.Mallocs, res.Stats.WarpInstrs
+}
+
+// TestEngineSteadyStateAllocs requires the issue/writeback hot path to be
+// allocation-free: growing the per-thread loop count by tens of thousands
+// of instructions must not grow Run's heap allocations. Warm-up costs
+// (CTA dispatch, scratch growth, GC noise) are identical between the two
+// runs, so the delta isolates the steady state.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	aSmall, iSmall := aluRun(t, 500)
+	aBig, iBig := aluRun(t, 5000)
+	dInstr := iBig - iSmall
+	if dInstr < 10_000 {
+		t.Fatalf("instruction delta too small to measure: %d", dInstr)
+	}
+	var dAlloc uint64
+	if aBig > aSmall {
+		dAlloc = aBig - aSmall
+	}
+	// Allow a small constant slop for runtime-internal allocations
+	// (ReadMemStats, GC bookkeeping) — but nothing proportional to the
+	// extra instructions.
+	if dAlloc > 64 {
+		t.Errorf("steady-state allocations: %d extra allocs over %d extra warp instructions (small=%d big=%d)",
+			dAlloc, dInstr, aSmall, aBig)
+	}
+}

@@ -107,12 +107,19 @@ type smState struct {
 	id  int
 	eng *Engine
 
-	warps    []*simt.Warp
-	metrics  []sched.WarpMetrics
-	regPend  []bool // slots * NumRegs
-	predPend []bool // slots * NumPreds
+	warps   []*simt.Warp
+	metrics []sched.WarpMetrics
+	// regPend/predPend are per-slot scoreboards: bit r of regPend[slot]
+	// marks register r pending writeback. One uint64 covers the full
+	// register file (isa.NumRegs ≤ 64), so a readiness check is two ANDs
+	// against the instruction's precomputed operand masks.
+	regPend  []uint64
+	predPend []uint64
 
 	wbRing [][]wbItem
+	// wbHead tracks cycle % len(wbRing), advanced once per tick, so the
+	// hot path never computes an int64 modulo.
+	wbHead int
 	units  []*smUnit
 
 	ddos *core.DDOS
@@ -126,14 +133,67 @@ type smState struct {
 	st              stats.Sim
 	maxSIBPT        int
 	pcCounts        []int64 // per-PC issue counts (Options.Profile)
+
+	// port caches eng.sys.Port(id); readyFn and doneFn are bound once so
+	// the per-cycle Pick and per-request completion allocate no closures.
+	port    *mem.Port
+	readyFn func(int) bool
+	doneFn  func(*mem.Request)
+	// reqFree pools memory requests (with their access buffers); requests
+	// return to the pool in memDone.
+	reqFree []*mem.Request
 }
 
-// Engine runs one kernel launch to completion.
+// instrMasks caches, per PC, the scoreboard bits ready must test: every
+// register (source and destination) and predicate the instruction waits
+// on. Computed once per launch in New.
+type instrMasks struct {
+	regs  uint64
+	preds uint64
+}
+
+// The bitmask scoreboards require the architectural limits to fit.
+const (
+	_ = uint64(1) << (isa.NumRegs - 1)  // compile-time: NumRegs ≤ 64
+	_ = uint64(1) << (isa.NumPreds - 1) // compile-time: NumPreds ≤ 64
+)
+
+func buildMasks(p *isa.Program) []instrMasks {
+	out := make([]instrMasks, p.Len())
+	for pc := range out {
+		in := p.At(int32(pc))
+		mk := &out[pc]
+		if in.WritesReg() {
+			mk.regs |= 1 << uint(in.Dst)
+		}
+		for _, o := range [...]isa.Operand{in.A, in.B, in.C, in.D} {
+			if o.Kind == isa.OpdReg {
+				mk.regs |= 1 << uint(o.Reg)
+			}
+		}
+		if in.Op == isa.OpSetp {
+			mk.preds |= 1 << uint(in.PDst)
+		}
+		if in.Op == isa.OpSelp {
+			mk.preds |= 1 << uint(in.PSrc)
+		}
+		if in.Guarded() {
+			mk.preds |= 1 << uint(in.Guard)
+		}
+	}
+	return out
+}
+
+// Engine runs one kernel launch to completion. An Engine is entirely
+// self-contained (it owns its memory system and SM state), so distinct
+// engines may run concurrently on different goroutines; a single Engine
+// is not safe for concurrent use.
 type Engine struct {
 	opt    Options
 	launch Launch
 	sys    *mem.System
 	sms    []*smState
+	masks  []instrMasks // per-PC scoreboard masks for launch.Prog
 	cycle  int64
 
 	nextCTA   int
@@ -173,6 +233,7 @@ func New(opt Options, launch Launch) (*Engine, error) {
 	}
 
 	e := &Engine{opt: opt, launch: launch, totalCTAs: launch.GridCTAs}
+	e.masks = buildMasks(launch.Prog)
 	e.sys = mem.NewSystem(opt.GPU.Mem, opt.GPU.NumSMs, opt.GPU.WarpsPerSM, launch.MemWords)
 	if launch.Setup != nil {
 		launch.Setup(e.sys.Words())
@@ -187,12 +248,15 @@ func New(opt Options, launch Launch) (*Engine, error) {
 			eng:             e,
 			warps:           make([]*simt.Warp, opt.GPU.WarpsPerSM),
 			metrics:         make([]sched.WarpMetrics, opt.GPU.WarpsPerSM),
-			regPend:         make([]bool, opt.GPU.WarpsPerSM*isa.NumRegs),
-			predPend:        make([]bool, opt.GPU.WarpsPerSM*isa.NumPreds),
+			regPend:         make([]uint64, opt.GPU.WarpsPerSM),
+			predPend:        make([]uint64, opt.GPU.WarpsPerSM),
 			wbRing:          make([][]wbItem, opt.GPU.ALULat+1),
 			issuedThisCycle: make([]bool, opt.GPU.WarpsPerSM),
 			ddos:            core.NewDDOS(opt.DDOS, opt.GPU.WarpsPerSM),
+			port:            e.sys.Port(id),
 		}
+		m.readyFn = m.ready
+		m.doneFn = m.memDone
 		if opt.BOWS.Mode != config.BOWSOff {
 			m.bows = core.NewBOWS(opt.BOWS, m.ddos, opt.GPU.WarpsPerSM)
 		}
@@ -247,7 +311,9 @@ func (e *Engine) Run() (*Result, error) {
 	// Drain in-flight stores so the final memory image is complete.
 	for !e.sys.Quiescent() {
 		if e.cycle >= e.opt.GPU.MaxCycles {
-			return nil, fmt.Errorf("sim: %s: memory system failed to drain", e.launch.Prog.Name)
+			// Like the issue-loop watchdog above: return the partial result
+			// alongside the error so callers can inspect the stuck state.
+			return e.result(), fmt.Errorf("sim: %s: memory system failed to drain", e.launch.Prog.Name)
 		}
 		e.sys.Tick(e.cycle)
 		e.cycle++
@@ -299,51 +365,30 @@ func (m *smState) ready(slot int) bool {
 	if w == nil || w.Done || w.AtBarrier {
 		return false
 	}
-	in := w.NextInstr()
-	base := slot * isa.NumRegs
-	if in.WritesReg() && m.regPend[base+int(in.Dst)] {
+	pc := w.PC()
+	mk := &m.eng.masks[pc]
+	if m.regPend[slot]&mk.regs != 0 || m.predPend[slot]&mk.preds != 0 {
 		return false
 	}
-	if in.A.Kind == isa.OpdReg && m.regPend[base+int(in.A.Reg)] {
-		return false
-	}
-	if in.B.Kind == isa.OpdReg && m.regPend[base+int(in.B.Reg)] {
-		return false
-	}
-	if in.C.Kind == isa.OpdReg && m.regPend[base+int(in.C.Reg)] {
-		return false
-	}
-	if in.D.Kind == isa.OpdReg && m.regPend[base+int(in.D.Reg)] {
-		return false
-	}
-	pbase := slot * isa.NumPreds
-	if in.Op == isa.OpSetp && m.predPend[pbase+int(in.PDst)] {
-		return false
-	}
-	if in.Op == isa.OpSelp && m.predPend[pbase+int(in.PSrc)] {
-		return false
-	}
-	if in.Guarded() && m.predPend[pbase+int(in.Guard)] {
-		return false
-	}
-	port := m.eng.sys.Port(m.id)
+	in := w.Prog.At(pc)
 	switch {
 	case in.Op.IsMem():
-		return port.Outstanding(slot) < m.eng.opt.GPU.Mem.MaxPerWarp && port.CanAccept(1)
+		return m.port.Outstanding(slot) < m.eng.opt.GPU.Mem.MaxPerWarp && m.port.CanAccept(1)
 	case in.Op == isa.OpMembar:
-		return port.Outstanding(slot) == 0
+		return m.port.Outstanding(slot) == 0
 	}
 	return true
 }
 
 func (m *smState) tick(cycle int64) {
-	// 1. ALU writeback.
-	ring := &m.wbRing[cycle%int64(len(m.wbRing))]
+	// 1. ALU writeback. wbHead tracks cycle % len(wbRing) (advanced at the
+	// end of each tick), avoiding the per-cycle int64 modulo.
+	ring := &m.wbRing[m.wbHead]
 	for _, it := range *ring {
 		if it.isPred {
-			m.predPend[it.slot*isa.NumPreds+int(it.idx)] = false
+			m.predPend[it.slot] &^= 1 << it.idx
 		} else {
-			m.regPend[it.slot*isa.NumRegs+int(it.idx)] = false
+			m.regPend[it.slot] &^= 1 << it.idx
 		}
 	}
 	*ring = (*ring)[:0]
@@ -356,7 +401,7 @@ func (m *smState) tick(cycle int64) {
 
 	// 3. Issue: one instruction per scheduler unit.
 	for _, u := range m.units {
-		slot := u.policy.Pick(cycle, m.ready)
+		slot := u.policy.Pick(cycle, m.readyFn)
 		if slot < 0 {
 			m.st.IdleCycles++
 			continue
@@ -387,6 +432,18 @@ func (m *smState) tick(cycle int64) {
 	if n := m.ddos.Table().Len(); n > m.maxSIBPT {
 		m.maxSIBPT = n
 	}
+	if m.wbHead++; m.wbHead == len(m.wbRing) {
+		m.wbHead = 0
+	}
+}
+
+// pushWB schedules a scoreboard release ALULat cycles from now.
+func (m *smState) pushWB(slot int, isPred bool, idx uint8) {
+	at := m.wbHead + int(m.eng.opt.GPU.ALULat)
+	if at >= len(m.wbRing) {
+		at -= len(m.wbRing)
+	}
+	m.wbRing[at] = append(m.wbRing[at], wbItem{slot: slot, isPred: isPred, idx: idx})
 }
 
 // issue executes one instruction from the warp in slot.
@@ -418,12 +475,6 @@ func (m *smState) issue(u *smUnit, slot int, cycle int64) {
 	}
 	u.policy.OnIssue(slot, cycle)
 
-	alulat := m.eng.opt.GPU.ALULat
-	pushWB := func(isPred bool, idx uint8) {
-		at := (cycle + alulat) % int64(len(m.wbRing))
-		m.wbRing[at] = append(m.wbRing[at], wbItem{slot: slot, isPred: isPred, idx: idx})
-	}
-
 	switch {
 	case res.IsBranch:
 		u.policy.OnBranch(slot, res.BackwardTaken)
@@ -450,8 +501,8 @@ func (m *smState) issue(u *smUnit, slot int, cycle int64) {
 		}
 	case res.IsSetp:
 		m.ddos.OnSetp(slot, res.PC, res.SetpLane, res.SetpV1, res.SetpV2)
-		m.predPend[slot*isa.NumPreds+int(in.PDst)] = true
-		pushWB(true, uint8(in.PDst))
+		m.predPend[slot] |= 1 << uint(in.PDst)
+		m.pushWB(slot, true, uint8(in.PDst))
 	case in.Op == isa.OpMembar:
 		m.eng.sys.Stats(m.id).FenceOps++
 	case in.Op == isa.OpBar:
@@ -463,8 +514,8 @@ func (m *smState) issue(u *smUnit, slot int, cycle int64) {
 	case in.Op.IsMem():
 		m.issueMem(w, in, res, slot)
 	case in.WritesReg():
-		m.regPend[slot*isa.NumRegs+int(in.Dst)] = true
-		pushWB(false, uint8(in.Dst))
+		m.regPend[slot] |= 1 << uint(in.Dst)
+		m.pushWB(slot, false, uint8(in.Dst))
 	}
 
 	if w.Done {
@@ -473,29 +524,54 @@ func (m *smState) issue(u *smUnit, slot int, cycle int64) {
 }
 
 func (m *smState) issueMem(w *simt.Warp, in *isa.Instr, res simt.ExecResult, slot int) {
-	accs := make([]mem.Access, len(res.Mem))
-	for i, a := range res.Mem {
-		accs[i] = mem.Access{Lane: a.Lane, Addr: a.Addr, V1: a.V1, V2: a.V2, GTID: a.GTID}
+	req := m.getReq()
+	accs := req.Accesses[:0]
+	for _, a := range res.Mem {
+		accs = append(accs, mem.Access{Lane: a.Lane, Addr: a.Addr, V1: a.V1, V2: a.V2, GTID: a.GTID})
 	}
-	writesReg := in.WritesReg()
-	if writesReg && len(accs) > 0 {
-		m.regPend[slot*isa.NumRegs+int(in.Dst)] = true
+	req.SM, req.WarpSlot = m.id, slot
+	req.Op, req.Ann, req.Vol = in.Op, in.Ann, in.Vol
+	req.Accesses = accs
+	req.Dst, req.WritesReg = in.Dst, in.WritesReg()
+	// The warp travels in the request: the slot may be recycled by a new
+	// CTA before a store drains, so writeback must target this warp, not
+	// whatever occupies the slot at completion time.
+	req.Owner = w
+	req.Done = m.doneFn
+	if req.WritesReg && len(accs) > 0 {
+		m.regPend[slot] |= 1 << uint(in.Dst)
 	}
-	req := &mem.Request{
-		SM: m.id, WarpSlot: slot, Op: in.Op, Ann: in.Ann, Vol: in.Vol, Accesses: accs,
+	m.port.Enqueue(req)
+}
+
+// getReq takes a pooled memory request (or allocates one). Requests
+// return to the pool in memDone, after the memory system's final touch.
+func (m *smState) getReq() *mem.Request {
+	if n := len(m.reqFree); n > 0 {
+		req := m.reqFree[n-1]
+		m.reqFree[n-1] = nil
+		m.reqFree = m.reqFree[:n-1]
+		return req
 	}
-	req.Done = func(r *mem.Request) {
-		if writesReg {
-			for i := range r.Accesses {
-				a := &r.Accesses[i]
-				w.SetReg(a.Lane, in.Dst, a.Result)
-			}
-			if len(r.Accesses) > 0 {
-				m.regPend[slot*isa.NumRegs+int(in.Dst)] = false
-			}
+	return &mem.Request{Accesses: make([]mem.Access, 0, 32)}
+}
+
+// memDone is the completion callback for every memory request this SM
+// issues: it writes loaded values back to the issuing warp, releases the
+// destination-register scoreboard bit, and recycles the request.
+func (m *smState) memDone(r *mem.Request) {
+	if r.WritesReg {
+		w := r.Owner.(*simt.Warp)
+		for i := range r.Accesses {
+			a := &r.Accesses[i]
+			w.SetReg(a.Lane, r.Dst, a.Result)
+		}
+		if len(r.Accesses) > 0 {
+			m.regPend[r.WarpSlot] &^= 1 << uint(r.Dst)
 		}
 	}
-	m.eng.sys.Port(m.id).Enqueue(req)
+	r.Owner = nil
+	m.reqFree = append(m.reqFree, r)
 }
 
 func (m *smState) checkCTADone(cta *simt.CTA) {

@@ -65,6 +65,11 @@ type Warp struct {
 
 	regs  []uint32 // 32 * NumRegs, lane-major: regs[lane*NumRegs+r]
 	preds []bool   // 32 * NumPreds
+
+	// memScratch backs ExecResult.Mem. The engine converts the accesses
+	// into its memory request before the warp's next Execute, so one
+	// buffer per warp suffices and the issue path stays allocation-free.
+	memScratch []MemAccess
 }
 
 // NewCTA creates barrier state for a CTA of numWarps warps.
@@ -85,8 +90,9 @@ func NewWarp(prog *isa.Program, cta *CTA, idInCTA, slot, sm int, gtidBase int32,
 	w := &Warp{
 		Prog: prog, CTA: cta, IDInCTA: idInCTA, Slot: slot, SM: sm,
 		GTIDBase: gtidBase, Valid: valid,
-		regs:  make([]uint32, 32*isa.NumRegs),
-		preds: make([]bool, 32*isa.NumPreds),
+		regs:       make([]uint32, 32*isa.NumRegs),
+		preds:      make([]bool, 32*isa.NumPreds),
+		memScratch: make([]MemAccess, 0, 32),
 	}
 	w.Stack = append(w.Stack, StackEntry{PC: 0, Reconv: isa.NoReconv, Mask: valid})
 	w.ProfiledLane = bits.TrailingZeros32(valid)
@@ -383,9 +389,10 @@ func (w *Warp) alu(in *isa.Instr, lane int, clock int64) uint32 {
 	panic("simt: alu: bad opcode")
 }
 
-// buildAccesses builds the per-lane access list for a memory instruction.
+// buildAccesses builds the per-lane access list for a memory instruction
+// in the warp's scratch buffer (valid until the warp's next Execute).
 func (w *Warp) buildAccesses(in *isa.Instr, eff uint32, clock int64) []MemAccess {
-	out := make([]MemAccess, 0, bits.OnesCount32(eff))
+	out := w.memScratch[:0]
 	for lane := 0; lane < 32; lane++ {
 		if eff&(1<<lane) == 0 {
 			continue
@@ -401,6 +408,7 @@ func (w *Warp) buildAccesses(in *isa.Instr, eff uint32, clock int64) []MemAccess
 		}
 		out = append(out, acc)
 	}
+	w.memScratch = out
 	return out
 }
 

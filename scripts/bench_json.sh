@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs the per-kernel simulator throughput benchmarks and writes their
+# metrics (ns/op, simcycles/s, allocs/op, ...) as JSON, one object per
+# sub-benchmark. Usage: scripts/bench_json.sh [out.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_PR1.json}"
+
+go test -bench=BenchmarkSimulator -run '^$' -benchmem . | tee /tmp/bench_raw.txt
+
+awk '
+BEGIN { print "[" ; first = 1 }
+$1 ~ /^BenchmarkSimulator\// {
+    if (!first) printf ",\n"; first = 0
+    name = $1; sub(/^BenchmarkSimulator\//, "", name); sub(/-[0-9]+$/, "", name)
+    printf "  {\"bench\": \"%s\", \"iters\": %s", name, $2
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit); gsub(/[^A-Za-z0-9_]/, "_", unit)
+        printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+}
+END { print "\n]" }
+' /tmp/bench_raw.txt > "$out"
+
+echo "wrote $out"

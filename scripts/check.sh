@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Repo gate: build, vet, full test suite, and the parallel-runner
+# determinism tests under the race detector. Run from the repo root:
+#
+#   scripts/check.sh          # gate only
+#   scripts/check.sh -bench   # gate + regenerate BENCH_PR1.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (runner determinism) =="
+go test -race ./internal/exp -run TestRunner
+
+if [[ "${1:-}" == "-bench" ]]; then
+    echo "== benchmarks -> BENCH_PR1.json =="
+    scripts/bench_json.sh BENCH_PR1.json
+fi
+
+echo "OK"
