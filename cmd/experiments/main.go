@@ -22,12 +22,13 @@ import (
 
 func main() {
 	var (
-		name    = flag.String("exp", "all", "experiment name or 'all'")
-		quick   = flag.Bool("quick", false, "use reduced kernel sizes")
-		sms     = flag.Int("sms", 0, "override simulated SM count (0 = experiment default)")
-		jobs    = flag.Int("j", 0, "simulations to run concurrently (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
-		verbose = flag.Bool("v", false, "print per-run progress")
-		list    = flag.Bool("list", false, "list experiments and exit")
+		name      = flag.String("exp", "all", "experiment name or 'all'")
+		quick     = flag.Bool("quick", false, "use reduced kernel sizes")
+		sms       = flag.Int("sms", 0, "override simulated SM count (0 = experiment default)")
+		jobs      = flag.Int("j", 0, "simulations to run concurrently (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
+		verbose   = flag.Bool("v", false, "print per-run progress")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		statsJSON = flag.String("stats-json", "", "write a machine-readable run manifest (per-simulation counters) to this file")
 	)
 	flag.Parse()
 
@@ -42,6 +43,15 @@ func main() {
 	if *verbose {
 		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  ..", line) }
 	}
+	var col *exp.Collector
+	if *statsJSON != "" {
+		// The config map deliberately omits -j: the manifest (and its
+		// config hash) is identical for every worker count.
+		col = exp.NewCollector("experiments", map[string]any{
+			"exp": *name, "quick": *quick, "sms": *sms,
+		})
+		cfg.Collect = col
+	}
 
 	var todo []exp.Experiment
 	if *name == "all" {
@@ -55,6 +65,7 @@ func main() {
 		todo = []exp.Experiment{e}
 	}
 
+	start := time.Now()
 	for _, e := range todo {
 		fmt.Printf("==== %s: %s ====\n", e.Name, e.Title)
 		t0 := time.Now()
@@ -65,5 +76,15 @@ func main() {
 		}
 		fmt.Println(res)
 		fmt.Printf("(%s completed in %v)\n\n", e.Name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if col != nil {
+		m := col.Manifest()
+		m.WallMS = float64(time.Since(start).Microseconds()) / 1e3
+		if err := m.WriteFile(*statsJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote manifest (%d runs) to %s\n", len(m.Runs), *statsJSON)
 	}
 }

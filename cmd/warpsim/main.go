@@ -14,23 +14,26 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"warpsched"
+	"warpsched/internal/metrics"
 )
 
 func main() {
 	var (
-		kernel  = flag.String("kernel", "HT", "kernel name (see -list)")
-		sched   = flag.String("sched", "GTO", "baseline scheduler: LRR, GTO or CAWA")
-		bows    = flag.String("bows", "off", "BOWS mode: off, ddos or static")
-		delay   = flag.Int64("delay", -1, "fixed back-off delay limit in cycles (-1 = adaptive)")
-		gpu     = flag.String("gpu", "fermi", "GPU configuration: fermi (GTX480) or pascal (GTX1080Ti)")
-		sms     = flag.Int("sms", 0, "scale the machine down to this many SMs (0 = full)")
-		hash    = flag.String("hash", "XOR", "DDOS hashing function: XOR or MODULO")
-		listing = flag.Bool("asm", false, "print the kernel's assembly listing before running")
-		profile = flag.Bool("profile", false, "print a per-PC issue-count heatmap after running")
-		traceN  = flag.Int("trace", 0, "print the last N pipeline events (issues, SIBs, back-off exits)")
-		list    = flag.Bool("list", false, "list available kernels and exit")
+		kernel    = flag.String("kernel", "HT", "kernel name (see -list)")
+		sched     = flag.String("sched", "GTO", "baseline scheduler: LRR, GTO or CAWA")
+		bows      = flag.String("bows", "off", "BOWS mode: off, ddos or static")
+		delay     = flag.Int64("delay", -1, "fixed back-off delay limit in cycles (-1 = adaptive)")
+		gpu       = flag.String("gpu", "fermi", "GPU configuration: fermi (GTX480) or pascal (GTX1080Ti)")
+		sms       = flag.Int("sms", 0, "scale the machine down to this many SMs (0 = full)")
+		hash      = flag.String("hash", "XOR", "DDOS hashing function: XOR or MODULO")
+		listing   = flag.Bool("asm", false, "print the kernel's assembly listing before running")
+		profile   = flag.Bool("profile", false, "print a per-PC issue-count heatmap after running")
+		traceN    = flag.Int("trace", 0, "print the last N pipeline events (issues, SIBs, back-off exits)")
+		list      = flag.Bool("list", false, "list available kernels and exit")
+		statsJSON = flag.String("stats-json", "", "write a machine-readable run manifest (full per-SM counter snapshot) to this file")
 	)
 	flag.Parse()
 
@@ -92,10 +95,49 @@ func main() {
 		opt.Tracer = ring
 	}
 
+	start := time.Now()
 	res, err := warpsched.Run(opt, k)
 	if err != nil {
 		fatal(err)
 	}
+	wallMS := float64(time.Since(start).Microseconds()) / 1e3
+
+	if *statsJSON != "" {
+		m := metrics.NewManifest("warpsim", map[string]any{
+			"kernel": k.Name, "sched": string(opt.Sched), "bows": string(opt.BOWS.Mode),
+			"gpu": opt.GPU.Name, "delay": *delay, "hash": string(opt.DDOS.Hash),
+		})
+		rec := metrics.RunRecord{
+			Kernel: k.Name,
+			GPU:    opt.GPU.Name,
+			Sched:  string(opt.Sched),
+			BOWS:   string(opt.BOWS.Mode),
+			Variant: metrics.HashJSON(struct {
+				GPU    warpsched.GPU
+				Sched  warpsched.SchedulerKind
+				BOWS   warpsched.BOWSConfig
+				DDOS   warpsched.DDOSConfig
+				Kernel string
+			}{opt.GPU, opt.Sched, opt.BOWS, opt.DDOS, k.Name}),
+			Cycles: res.Stats.Cycles,
+			WallMS: wallMS,
+		}
+		// warpsim is a single run, so the manifest keeps the full per-SM
+		// resolution instead of machine totals.
+		if res.Metrics != nil {
+			rec.Counters = res.Metrics.Counters
+			rec.Derived = res.Metrics.Gauges
+		}
+		if err := m.Add(rec); err != nil {
+			fatal(err)
+		}
+		m.WallMS = wallMS
+		if err := m.WriteFile(*statsJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "warpsim: wrote manifest to %s\n", *statsJSON)
+	}
+
 	s := &res.Stats
 	fmt.Printf("kernel           %s — %s\n", k.Name, k.Desc)
 	fmt.Printf("machine          %s, %s scheduler, BOWS=%s\n", opt.GPU.Name, opt.Sched, opt.BOWS.Mode)

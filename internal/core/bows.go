@@ -3,6 +3,7 @@ package core
 import (
 	"warpsched/internal/config"
 	"warpsched/internal/isa"
+	"warpsched/internal/metrics"
 	"warpsched/internal/sched"
 )
 
@@ -37,6 +38,15 @@ type BOWS struct {
 
 	// stats
 	sibExecutions int64
+	// Adaptive delay-limit controller trajectory: evaluated windows,
+	// raise/cut decisions, and the highest limit reached. limitHist, when
+	// attached (RegisterMetrics), observes the limit after each window
+	// evaluation — off the issue path by construction.
+	windowsEvaluated int64
+	limitRaises      int64
+	limitCuts        int64
+	limitPeak        int64
+	limitHist        *metrics.Histogram
 }
 
 // NewBOWS creates the SM-wide BOWS state. ddos may be nil when cfg.Mode
@@ -50,9 +60,27 @@ func NewBOWS(cfg config.BOWS, ddos *DDOS, numSlots int) *BOWS {
 		cfg:          cfg,
 		ddos:         ddos,
 		limit:        limit,
+		limitPeak:    limit,
 		backedOff:    make([]bool, numSlots),
 		pendingUntil: make([]int64, numSlots),
 		inSpinLoop:   make([]bool, numSlots),
+	}
+}
+
+// RegisterMetrics registers the SM's BOWS counters under prefix (e.g.
+// "sm0.bows.") and attaches the delay-limit trajectory histogram.
+func (b *BOWS) RegisterMetrics(r *metrics.Registry, prefix string) {
+	r.Int64(prefix+"sib_executions", &b.sibExecutions)
+	r.Int64(prefix+"controller_windows", &b.windowsEvaluated)
+	r.Int64(prefix+"delay_limit_raises", &b.limitRaises)
+	r.Int64(prefix+"delay_limit_cuts", &b.limitCuts)
+	r.Int64(prefix+"delay_limit_peak", &b.limitPeak)
+	r.Gauge(prefix+"delay_limit", func() float64 { return float64(b.limit) })
+	if b.cfg.Adaptive {
+		// Bounds track the Table II controller range (min 1000, step 250,
+		// max 10000); out-of-range configurations land in the inf bucket.
+		b.limitHist = r.Histogram(prefix+"delay_limit_window",
+			[]int64{1000, 2000, 4000, 6000, 8000, 10000})
 	}
 }
 
@@ -168,13 +196,16 @@ func (b *BOWS) Tick(cycle int64) {
 	if DebugAdaptive != nil {
 		DebugAdaptive(cycle, tot, sib, b.limit)
 	}
+	b.windowsEvaluated++
 	if float64(sib) > b.cfg.Frac1*float64(tot) {
 		b.limit += b.cfg.DelayStep
+		b.limitRaises++
 	}
 	if sib > 0 {
 		ratio := float64(tot) / float64(sib)
 		if b.havePrev && ratio < b.cfg.Frac2*b.prevRatio {
 			b.limit -= 2 * b.cfg.DelayStep
+			b.limitCuts++
 		}
 		b.prevRatio = ratio
 		b.havePrev = true
@@ -184,6 +215,12 @@ func (b *BOWS) Tick(cycle int64) {
 	}
 	if b.limit < b.cfg.MinLimit {
 		b.limit = b.cfg.MinLimit
+	}
+	if b.limit > b.limitPeak {
+		b.limitPeak = b.limit
+	}
+	if b.limitHist != nil {
+		b.limitHist.Observe(b.limit)
 	}
 }
 
@@ -201,6 +238,13 @@ type Wrapped struct {
 	// allocates no closure per cycle.
 	curReady func(int) bool
 	filtered func(int) bool
+
+	// stats: backed-off queue pushes, its high-water mark, and issue
+	// attempts rejected because a ready backed-off warp's pending delay
+	// had not expired (the Figure 4 back-off stalls).
+	enqueues     int64
+	queuePeak    int64
+	blockedPicks int64
 }
 
 var _ sched.Policy = (*Wrapped)(nil)
@@ -224,8 +268,11 @@ func (w *Wrapped) Pick(cycle int64, ready func(int) bool) int {
 		return s
 	}
 	for _, s := range w.queue {
-		if ready(s) && w.bows.eligible(s, cycle) {
-			return s
+		if ready(s) {
+			if w.bows.eligible(s, cycle) {
+				return s
+			}
+			w.blockedPicks++
 		}
 	}
 	return -1
@@ -254,9 +301,30 @@ func (w *Wrapped) OnBranch(slot int, backwardTaken bool) {
 func (w *Wrapped) OnSIB(slot int) {
 	if !w.bows.backedOff[slot] {
 		w.queue = append(w.queue, slot)
+		w.enqueues++
+		if n := int64(len(w.queue)); n > w.queuePeak {
+			w.queuePeak = n
+		}
 	}
 	w.bows.OnSIB(slot)
 }
 
 // QueueLen returns the backed-off queue occupancy (for tests).
 func (w *Wrapped) QueueLen() int { return len(w.queue) }
+
+// BlockedPicks returns issue attempts rejected by an unexpired back-off
+// delay.
+func (w *Wrapped) BlockedPicks() int64 { return w.blockedPicks }
+
+// RegisterMetrics registers the scheduler unit's back-off arbitration
+// counters under prefix (e.g. "sm0.sched.u1.") and forwards to the base
+// policy when it is instrumented.
+func (w *Wrapped) RegisterMetrics(r *metrics.Registry, prefix string) {
+	r.Int64(prefix+"backoff_enqueues", &w.enqueues)
+	r.Int64(prefix+"backoff_queue_peak", &w.queuePeak)
+	r.Int64(prefix+"backoff_blocked_picks", &w.blockedPicks)
+	r.Gauge(prefix+"backoff_queue_len", func() float64 { return float64(len(w.queue)) })
+	if ins, ok := w.base.(sched.Instrumented); ok {
+		ins.RegisterMetrics(r, prefix)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"warpsched/internal/config"
+	"warpsched/internal/metrics"
 )
 
 // hashTo folds a 32-bit value to bits wide using the configured function.
@@ -182,6 +183,17 @@ func NewDDOS(cfg config.DDOS, numSlots int) *DDOS {
 
 // Table exposes the SIB-PT (shared with BOWS and reporting).
 func (d *DDOS) Table() *SIBPT { return d.table }
+
+// RegisterMetrics registers the detector's observability surface under
+// prefix (e.g. "sm0.ddos."): the SIB-PT counters plus detection-quality
+// gauges evaluated lazily at snapshot time (Metrics walks the branch map,
+// so it must stay off the per-cycle path).
+func (d *DDOS) RegisterMetrics(r *metrics.Registry, prefix string) {
+	d.table.RegisterMetrics(r, prefix+"sibpt.")
+	r.Gauge(prefix+"branches_tracked", func() float64 { return float64(len(d.branches)) })
+	r.Gauge(prefix+"tsdr", func() float64 { m := d.Metrics(); return m.TSDR() })
+	r.Gauge(prefix+"fsdr", func() float64 { m := d.Metrics(); return m.FSDR() })
+}
 
 func (d *DDOS) hist(slot int) *history {
 	if d.cfg.TimeShare {

@@ -1,5 +1,7 @@
 package core
 
+import "warpsched/internal/metrics"
+
 // SIBEntry is one Spin-inducing Branch Prediction Table entry: the branch
 // PC, its confidence counter and its prediction (paper Figure 7b).
 // Confirmation is sticky: once a branch's confidence reaches the
@@ -27,6 +29,10 @@ type SIBPT struct {
 	// evictions counts entries displaced because the table was full; a
 	// nonzero value signals the 16-entry sizing was insufficient.
 	evictions int64
+	// promotions counts entries crossing the confidence threshold (the
+	// SIB confirmations that arm BOWS); insertions counts new entries.
+	promotions int64
+	insertions int64
 }
 
 // NewSIBPT creates a table with the given capacity and confidence
@@ -47,11 +53,13 @@ func (t *SIBPT) Bump(pc int32, cycle int64) {
 		}
 		e = &SIBEntry{PC: pc}
 		t.entries[pc] = e
+		t.insertions++
 	}
 	e.conf++
 	if !e.confirmed && e.conf >= t.threshold {
 		e.confirmed = true
 		e.confirmedAt = cycle
+		t.promotions++
 	}
 }
 
@@ -106,3 +114,15 @@ func (t *SIBPT) ConfirmedPCs() []int32 {
 // count.
 func (t *SIBPT) Len() int         { return len(t.entries) }
 func (t *SIBPT) Evictions() int64 { return t.evictions }
+
+// Promotions returns the number of SIB confirmations.
+func (t *SIBPT) Promotions() int64 { return t.promotions }
+
+// RegisterMetrics registers the table's counters under prefix (e.g.
+// "sm0.ddos.sibpt.").
+func (t *SIBPT) RegisterMetrics(r *metrics.Registry, prefix string) {
+	r.Int64(prefix+"insertions", &t.insertions)
+	r.Int64(prefix+"promotions", &t.promotions)
+	r.Int64(prefix+"evictions", &t.evictions)
+	r.Gauge(prefix+"entries", func() float64 { return float64(len(t.entries)) })
+}

@@ -10,6 +10,7 @@ package energy
 import (
 	"fmt"
 
+	"warpsched/internal/metrics"
 	"warpsched/internal/stats"
 )
 
@@ -86,6 +87,27 @@ func (b Breakdown) Total() float64 {
 func (b Breakdown) String() string {
 	return fmt.Sprintf("total=%.1fnJ core=%.1f l1=%.1f l2=%.1f dram=%.1f atomic=%.1f idle=%.1f sched=%.1f",
 		b.Total()/1e3, b.Core/1e3, b.L1/1e3, b.L2/1e3, b.DRAM/1e3, b.Atomic/1e3, b.Idle/1e3, b.Sched/1e3)
+}
+
+// Register exposes the modeled energy breakdown as registry gauges under
+// prefix (e.g. "energy."). Each gauge recomputes the breakdown from the
+// live stats at snapshot time, so registration adds nothing to the
+// simulation's per-cycle cost.
+func Register(r *metrics.Registry, prefix string, c Coefficients, s *stats.Sim) {
+	part := func(name string, f func(*Breakdown) float64) {
+		r.Gauge(prefix+name, func() float64 {
+			b := Compute(c, s)
+			return f(&b)
+		})
+	}
+	part("total_pj", func(b *Breakdown) float64 { return b.Total() })
+	part("core_pj", func(b *Breakdown) float64 { return b.Core })
+	part("l1_pj", func(b *Breakdown) float64 { return b.L1 })
+	part("l2_pj", func(b *Breakdown) float64 { return b.L2 })
+	part("dram_pj", func(b *Breakdown) float64 { return b.DRAM })
+	part("atomic_pj", func(b *Breakdown) float64 { return b.Atomic })
+	part("idle_pj", func(b *Breakdown) float64 { return b.Idle })
+	part("sched_pj", func(b *Breakdown) float64 { return b.Sched })
 }
 
 // Compute charges the coefficient set against the run's event counts.

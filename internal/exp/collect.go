@@ -1,0 +1,139 @@
+package exp
+
+import (
+	"strings"
+	"sync"
+
+	"warpsched/internal/config"
+	"warpsched/internal/energy"
+	"warpsched/internal/metrics"
+)
+
+// Collector accumulates one metrics.RunRecord per completed simulation
+// into a run manifest. A single Collector serves a whole parallel sweep:
+// it is safe for concurrent use from runAll workers, and the resulting
+// manifest is independent of the worker count (records are keyed, and
+// WriteFile sorts).
+type Collector struct {
+	mu sync.Mutex
+	m  *metrics.Manifest
+}
+
+// NewCollector starts a manifest for tool (e.g. "experiments") with the
+// given invocation configuration (flag values and the like).
+func NewCollector(tool string, cfg map[string]any) *Collector {
+	return &Collector{m: metrics.NewManifest(tool, cfg)}
+}
+
+func (c *Collector) add(r metrics.RunRecord) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m.Add(r)
+}
+
+// Manifest returns the accumulated manifest, sorted by run key.
+func (c *Collector) Manifest() *metrics.Manifest {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m.Sort()
+	return c.m
+}
+
+// buildRecord converts one finished run into a manifest record.
+func buildRecord(sp *runSpec, o runOut, wallMS float64) metrics.RunRecord {
+	r := metrics.RunRecord{
+		Kernel:  sp.k.Name,
+		GPU:     sp.gpu.Name,
+		Sched:   string(sp.sched),
+		BOWS:    bowsDesc(sp.bows),
+		Variant: variantHash(sp),
+		WallMS:  wallMS,
+	}
+	if o.err != nil {
+		r.Err = o.err.Error()
+	}
+	res := o.res
+	if res == nil {
+		return r
+	}
+	st := &res.Stats
+	r.Cycles = st.Cycles
+	r.Counters = aggregateCounters(res.Metrics)
+	r.Derived = map[string]float64{
+		"simd_efficiency":     st.SIMDEfficiency(),
+		"sync_instr_fraction": st.SyncInstrFraction(),
+		"sync_mem_fraction":   st.SyncMemFraction(),
+		"backed_off_fraction": st.BackedOffFraction(),
+		"energy_total_pj":     energy.Compute(energy.ByConfigName(sp.gpu.Name), st).Total(),
+	}
+	return r
+}
+
+// bowsDesc renders the BOWS configuration for the record key.
+func bowsDesc(b config.BOWS) string {
+	if b.Mode == config.BOWSOff {
+		return "off"
+	}
+	s := string(b.Mode)
+	if b.Adaptive {
+		s += "-adaptive"
+	}
+	return s
+}
+
+// variantHash fingerprints everything that can distinguish two runs
+// sharing a kernel/GPU/scheduler name: the full machine configuration
+// (fig16's queue-lock comparator differs only in Mem.QueueLocks), the
+// BOWS and DDOS parameter sets (table1 and the delay sweep vary these),
+// and the launch geometry and parameters (fig16 reuses kernel names
+// across bucket counts). Manifest.Add cross-checks records that still
+// collide, so a dimension missed here surfaces as an error, not a silent
+// overwrite.
+func variantHash(sp *runSpec) string {
+	return metrics.HashJSON(struct {
+		GPU      config.GPU
+		Sched    config.SchedulerKind
+		BOWS     config.BOWS
+		DDOS     config.DDOS
+		Kernel   string
+		Grid     int
+		Threads  int
+		MemWords int
+		Params   []uint32
+	}{sp.gpu, sp.sched, sp.bows, sp.ddos, sp.k.Name,
+		sp.k.Launch.GridCTAs, sp.k.Launch.CTAThreads, sp.k.Launch.MemWords,
+		sp.k.Launch.Params})
+}
+
+// aggregateCounters folds a per-SM snapshot into machine totals: names
+// under an "sm<i>." prefix are summed across SMs under the remainder of
+// the name; engine-scoped names pass through. engine.cycles is dropped —
+// RunRecord.Cycles carries it.
+func aggregateCounters(s *metrics.Snapshot) map[string]int64 {
+	if s == nil {
+		return nil
+	}
+	out := make(map[string]int64, len(s.Counters))
+	for name, v := range s.Counters {
+		if name == "engine.cycles" {
+			continue
+		}
+		out[smFold(name)] += v
+	}
+	return out
+}
+
+func smFold(name string) string {
+	if !strings.HasPrefix(name, "sm") {
+		return name
+	}
+	rest := name[2:]
+	i := 0
+	for i < len(rest) && rest[i] >= '0' && rest[i] <= '9' {
+		i++
+	}
+	if i == 0 || i >= len(rest) || rest[i] != '.' {
+		return name
+	}
+	return rest[i+1:]
+}

@@ -33,6 +33,14 @@ type Cfg struct {
 	// Progress, when non-nil, receives one line per completed run. It is
 	// never called from more than one goroutine at a time.
 	Progress func(string)
+	// Collect, when non-nil, receives one manifest record per completed
+	// simulation (see NewCollector). A Collector is safe under Jobs > 1.
+	Collect *Collector
+	// Tracer, when non-nil, supplies the tracer for the run at submission
+	// index i. Each concurrently running engine must get its own tracer
+	// instance — use trace.Buffers; sharing one Ring across engines is a
+	// data race under Jobs > 1.
+	Tracer func(i int) sim.Tracer
 }
 
 func (c Cfg) note(format string, args ...any) {
@@ -87,11 +95,11 @@ func (c Cfg) syncFreeSuite() []*kernels.Kernel {
 // is returned alongside the error so sweeps can record "at least this
 // slow" instead of aborting.
 func run(gpu config.GPU, kind config.SchedulerKind, bows config.BOWS,
-	ddos config.DDOS, k *kernels.Kernel) (*sim.Result, error) {
+	ddos config.DDOS, k *kernels.Kernel, tr sim.Tracer) (*sim.Result, error) {
 	if gpu.MaxCycles > expMaxCycles {
 		gpu.MaxCycles = expMaxCycles
 	}
-	eng, err := sim.New(sim.Options{GPU: gpu, Sched: kind, BOWS: bows, DDOS: ddos}, k.Launch)
+	eng, err := sim.New(sim.Options{GPU: gpu, Sched: kind, BOWS: bows, DDOS: ddos, Tracer: tr}, k.Launch)
 	if err != nil {
 		return nil, err
 	}

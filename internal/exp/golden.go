@@ -1,0 +1,36 @@
+package exp
+
+import (
+	"warpsched/internal/config"
+	"warpsched/internal/metrics"
+)
+
+// goldenSpecs is the sweep pinned by the golden-stats regression test:
+// the sync suite under the paper's two strongest baselines (GTO, CAWA)
+// with and without BOWS on the Fermi machine. Every spec is built exactly
+// like the fig9 sweep (same c.fermi() machine, DefaultBOWS, DefaultDDOS),
+// so the committed golden counters are a strict subset of the manifest a
+// `cmd/experiments -exp all` run emits — drift there fails here too.
+func goldenSpecs(c Cfg) []runSpec {
+	gpu := c.fermi()
+	var specs []runSpec
+	for _, k := range c.syncSuite() {
+		for _, kind := range []config.SchedulerKind{config.GTO, config.CAWA} {
+			specs = append(specs,
+				runSpec{gpu, kind, bowsOff(), config.DefaultDDOS(), k},
+				runSpec{gpu, kind, config.DefaultBOWS(), config.DefaultDDOS(), k})
+		}
+	}
+	return specs
+}
+
+// GoldenManifest runs the golden sweep and returns its manifest.
+func GoldenManifest(c Cfg) (*metrics.Manifest, error) {
+	col := NewCollector("golden", map[string]any{"quick": c.Quick, "sms": c.SMs})
+	c.Collect = col
+	outs := c.runAll(goldenSpecs(c))
+	if err := firstErr(outs); err != nil {
+		return nil, err
+	}
+	return col.Manifest(), nil
+}

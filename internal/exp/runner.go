@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"warpsched/internal/config"
 	"warpsched/internal/kernels"
@@ -105,8 +106,22 @@ func (c Cfg) runAll(specs []runSpec) []runOut {
 // runOne executes a single spec and reports its completion. With a nil
 // progress channel the line goes directly to c.note (serial path).
 func (c Cfg) runOne(sp *runSpec, i, n int, progress chan<- string) runOut {
-	res, err := run(sp.gpu, sp.sched, sp.bows, sp.ddos, sp.k)
+	var tr sim.Tracer
+	if c.Tracer != nil {
+		tr = c.Tracer(i)
+	}
+	start := time.Now()
+	res, err := run(sp.gpu, sp.sched, sp.bows, sp.ddos, sp.k, tr)
 	o := runOut{res: res, err: err}
+	if c.Collect != nil {
+		rec := buildRecord(sp, o, float64(time.Since(start).Microseconds())/1e3)
+		// A collection failure means two specs hashed to one manifest key
+		// with different counters — a determinism violation worth failing
+		// the sweep over, but never one that masks a simulation error.
+		if cerr := c.Collect.add(rec); cerr != nil && o.err == nil {
+			o.err = cerr
+		}
+	}
 	if c.Progress != nil {
 		line := fmt.Sprintf("[%d/%d] %s %s%s on %s: %s", i+1, n,
 			sp.k.Name, sp.sched, bowsTag(sp.bows), sp.gpu.Name, outcome(o))

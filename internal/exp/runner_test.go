@@ -7,6 +7,9 @@ import (
 
 	"warpsched/internal/config"
 	"warpsched/internal/kernels"
+	"warpsched/internal/metrics"
+	"warpsched/internal/sim"
+	"warpsched/internal/trace"
 )
 
 // testSpec builds a small hashtable run for runner tests.
@@ -24,12 +27,12 @@ func testSpec(buckets int) runSpec {
 // parallel runner's byte-identical-output guarantee rests on.
 func TestRunnerRepeatDeterminism(t *testing.T) {
 	sp := testSpec(64)
-	a, err := run(sp.gpu, sp.sched, sp.bows, sp.ddos, sp.k)
+	a, err := run(sp.gpu, sp.sched, sp.bows, sp.ddos, sp.k, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sp2 := testSpec(64)
-	b, err := run(sp2.gpu, sp2.sched, sp2.bows, sp2.ddos, sp2.k)
+	b, err := run(sp2.gpu, sp2.sched, sp2.bows, sp2.ddos, sp2.k, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +72,7 @@ func TestRunnerSubmissionOrder(t *testing.T) {
 	want := make([]int64, len(buckets))
 	for i, bk := range buckets {
 		specs[i] = testSpec(bk)
-		res, err := run(specs[i].gpu, specs[i].sched, specs[i].bows, specs[i].ddos, specs[i].k)
+		res, err := run(specs[i].gpu, specs[i].sched, specs[i].bows, specs[i].ddos, specs[i].k, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -114,6 +117,63 @@ func TestRunnerProgressSerialized(t *testing.T) {
 	}
 	if len(seen) != len(specs) {
 		t.Errorf("duplicate or missing progress indices:\n%v", lines)
+	}
+}
+
+// TestRunnerTracerPerEngine exercises tracing under the parallel runner
+// with the race detector: trace.Buffers must give each engine its own
+// ring (one shared Ring would race), and per-run event totals must not
+// depend on the worker count.
+func TestRunnerTracerPerEngine(t *testing.T) {
+	specs := []runSpec{testSpec(16), testSpec(32), testSpec(64), testSpec(128)}
+	totals := func(jobs int) []int64 {
+		bufs := trace.NewBuffers(256, 0)
+		c := Cfg{Jobs: jobs, Tracer: func(i int) sim.Tracer { return bufs.For(i) }}
+		outs := c.runAll(specs)
+		if err := firstErr(outs); err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		out := make([]int64, len(specs))
+		for i := range specs {
+			out[i] = bufs.For(i).Total()
+		}
+		return out
+	}
+	serial := totals(1)
+	parallel := totals(4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("per-run trace totals differ between -j1 and -j4: %v vs %v", serial, parallel)
+	}
+	for i, n := range serial {
+		if n == 0 {
+			t.Errorf("run %d recorded no events", i)
+		}
+	}
+}
+
+// TestRunnerCollectorJobsInvariant checks that a sweep's manifest is
+// independent of the worker count: same keys, same counters.
+func TestRunnerCollectorJobsInvariant(t *testing.T) {
+	specs := []runSpec{testSpec(16), testSpec(32), testSpec(64)}
+	collect := func(jobs int) []metrics.RunRecord {
+		col := NewCollector("test", map[string]any{"jobs": "varies"})
+		c := Cfg{Jobs: jobs, Collect: col}
+		if err := firstErr(c.runAll(specs)); err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		m := col.Manifest()
+		if len(m.Runs) != len(specs) {
+			t.Fatalf("jobs=%d: %d records, want %d", jobs, len(m.Runs), len(specs))
+		}
+		// Wall time is the one legitimately nondeterministic field.
+		runs := append([]metrics.RunRecord(nil), m.Runs...)
+		for i := range runs {
+			runs[i].WallMS = 0
+		}
+		return runs
+	}
+	if a, b := collect(1), collect(4); !reflect.DeepEqual(a, b) {
+		t.Errorf("manifests differ between -j1 and -j4:\n%v\nvs\n%v", a, b)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"warpsched/internal/config"
 	"warpsched/internal/isa"
+	"warpsched/internal/metrics"
 	"warpsched/internal/stats"
 )
 
@@ -320,6 +321,28 @@ func (s *System) newSegment(r *Request, line uint32) *segment {
 // Stats returns the per-SM memory counters for SM sm.
 func (s *System) Stats(sm int) *stats.Mem { return s.ports[sm].stats }
 
+// RegisterMetrics registers SM sm's memory counters under prefix (e.g.
+// "sm0.mem."). The counters are views of the live per-port stats.Mem
+// fields, so registration adds no hot-path cost.
+func (s *System) RegisterMetrics(r *metrics.Registry, sm int, prefix string) {
+	p := s.ports[sm]
+	st := p.stats
+	r.Int64(prefix+"transactions", &st.Transactions)
+	r.Int64(prefix+"sync_transactions", &st.SyncTransactions)
+	r.Int64(prefix+"l1_accesses", &st.L1Accesses)
+	r.Int64(prefix+"l1_hits", &st.L1Hits)
+	r.Int64(prefix+"l2_accesses", &st.L2Accesses)
+	r.Int64(prefix+"l2_hits", &st.L2Hits)
+	r.Int64(prefix+"dram_accesses", &st.DRAMAccesses)
+	r.Int64(prefix+"atomic_ops", &st.AtomicOps)
+	r.Int64(prefix+"fence_ops", &st.FenceOps)
+	r.Int64(prefix+"mshr_stalls", &st.MSHRStalls)
+	r.Int64(prefix+"mshr_merges", &st.MSHRMerges)
+	r.Int64(prefix+"atom_retries", &st.AtomRetries)
+	r.Rate(prefix+"l1_hit_rate", &st.L1Hits, &st.L1Accesses)
+	r.Rate(prefix+"l2_hit_rate", &st.L2Hits, &st.L2Accesses)
+}
+
 // LockOwner returns the tracked holder of the lock word at addr, or -1.
 func (s *System) LockOwner(addr uint32) int32 {
 	if o, ok := s.lockOwner[addr]; ok {
@@ -450,6 +473,7 @@ func (s *System) Tick(cycle int64) {
 			cost := int64(1)
 			if seg.req.Op.IsAtomic() {
 				if busy, ok := s.atomBusy[seg.line]; ok && busy > cycle {
+					s.ports[seg.req.SM].stats.AtomRetries++
 					i++ // line's atomic slot occupied; leave queued
 					continue
 				}
@@ -517,9 +541,11 @@ func (p *Port) inject() {
 		} else {
 			if waiting, ok := p.mshr[seg.line]; ok {
 				// Merge with the outstanding miss.
+				p.stats.MSHRMerges++
 				p.mshr[seg.line] = append(waiting, seg)
 			} else {
 				if len(p.mshr) >= s.cfg.L1MSHRs {
+					p.stats.MSHRStalls++
 					return // no MSHR free: stall injection this cycle
 				}
 				p.mshr[seg.line] = []*segment{seg}

@@ -1,0 +1,275 @@
+// Run manifests: the machine-readable artifact every cmd/warpsim and
+// cmd/experiments invocation can emit (-stats-json <path>). A manifest
+// records the tool and its configuration (with a stable hash), the git
+// revision the binary was built from, wall time, and one RunRecord per
+// simulation with the full counter snapshot. internal/exp's golden-stats
+// harness diffs manifests: integer counters exactly, derived floats
+// within tolerance, wall times and revisions never.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"runtime/debug"
+	"sort"
+	"strings"
+)
+
+// ManifestSchema is the current manifest schema version; bump on any
+// incompatible change to the JSON layout.
+const ManifestSchema = 1
+
+// RunRecord is one simulation's identity and counter dump.
+type RunRecord struct {
+	// Kernel, GPU, Sched and BOWS identify the run for humans; Variant is
+	// a stable hash over the full configuration (machine, scheduler, BOWS
+	// and DDOS parameters, launch geometry and parameters) that keeps runs
+	// distinct when the human-readable fields coincide (e.g. the fig16
+	// bucket sweep reuses kernel name "HT").
+	Kernel  string `json:"kernel"`
+	GPU     string `json:"gpu"`
+	Sched   string `json:"sched"`
+	BOWS    string `json:"bows"`
+	Variant string `json:"variant,omitempty"`
+	// Cycles is the headline result (stats.Sim.Cycles).
+	Cycles int64 `json:"cycles"`
+	// Err is set when the run failed (e.g. watchdog abort); counters then
+	// describe the partial state.
+	Err string `json:"err,omitempty"`
+	// WallMS is host wall time for this run (never golden-compared).
+	WallMS float64 `json:"wall_ms"`
+	// Counters and Derived are the run's metrics snapshot.
+	Counters map[string]int64   `json:"counters"`
+	Derived  map[string]float64 `json:"derived,omitempty"`
+}
+
+// Key returns the record's identity within a manifest.
+func (r *RunRecord) Key() string {
+	return strings.Join([]string{r.Kernel, r.GPU, r.Sched, r.BOWS, r.Variant}, "|")
+}
+
+// Manifest is one tool invocation's machine-readable output.
+type Manifest struct {
+	Schema     int            `json:"schema"`
+	Tool       string         `json:"tool"`
+	GitRev     string         `json:"git_rev,omitempty"`
+	ConfigHash string         `json:"config_hash,omitempty"`
+	Config     map[string]any `json:"config,omitempty"`
+	WallMS     float64        `json:"wall_ms"`
+	Runs       []RunRecord    `json:"runs"`
+}
+
+// NewManifest returns an empty manifest for the named tool, stamped with
+// the build's git revision and the hash of config.
+func NewManifest(tool string, config map[string]any) *Manifest {
+	return &Manifest{
+		Schema:     ManifestSchema,
+		Tool:       tool,
+		GitRev:     GitRev(),
+		Config:     config,
+		ConfigHash: HashJSON(config),
+	}
+}
+
+// Add appends a run record. Duplicate keys are verified rather than
+// stored twice: the simulator is deterministic, so two runs of the same
+// fully-hashed configuration must agree counter for counter — a mismatch
+// means the Variant hash is missing a config dimension and is an error.
+func (m *Manifest) Add(r RunRecord) error {
+	for i := range m.Runs {
+		if m.Runs[i].Key() != r.Key() {
+			continue
+		}
+		if diffs := diffRun(&r, &m.Runs[i], 0); len(diffs) > 0 {
+			return fmt.Errorf("metrics: duplicate run %s disagrees with earlier run (variant hash missing a config dimension?): %s",
+				r.Key(), diffs[0])
+		}
+		return nil
+	}
+	m.Runs = append(m.Runs, r)
+	return nil
+}
+
+// Sort orders runs by key so a manifest's JSON is independent of worker
+// scheduling in the parallel runner.
+func (m *Manifest) Sort() {
+	sort.Slice(m.Runs, func(i, j int) bool { return m.Runs[i].Key() < m.Runs[j].Key() })
+}
+
+// Run returns the record with the given key, or nil.
+func (m *Manifest) Run(key string) *RunRecord {
+	for i := range m.Runs {
+		if m.Runs[i].Key() == key {
+			return &m.Runs[i]
+		}
+	}
+	return nil
+}
+
+// WriteFile marshals the manifest (sorted, indented) to path.
+func (m *Manifest) WriteFile(path string) error {
+	m.Sort()
+	data, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return fmt.Errorf("metrics: marshal manifest: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile parses a manifest written by WriteFile.
+func ReadFile(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("metrics: parse manifest %s: %w", path, err)
+	}
+	if m.Schema != ManifestSchema {
+		return nil, fmt.Errorf("metrics: manifest %s has schema %d, want %d", path, m.Schema, ManifestSchema)
+	}
+	return &m, nil
+}
+
+// DiffOptions tunes manifest comparison.
+type DiffOptions struct {
+	// FloatTol is the relative tolerance for Derived values (and an
+	// absolute tolerance near zero). Zero means exact.
+	FloatTol float64
+	// RequireSameRuns also reports runs present in got but absent from
+	// want. Off, Diff checks want ⊆ got — the mode the CI gate uses when
+	// comparing a full -exp all manifest against the golden subset.
+	RequireSameRuns bool
+}
+
+// Diff compares got against want and returns human-readable difference
+// lines (empty when they match). Integer counters, cycles and error
+// strings compare exactly; Derived values within opt.FloatTol; wall
+// times, git revisions and config hashes are never compared.
+func Diff(got, want *Manifest, opt DiffOptions) []string {
+	var out []string
+	for i := range want.Runs {
+		w := &want.Runs[i]
+		g := got.Run(w.Key())
+		if g == nil {
+			out = append(out, fmt.Sprintf("run %s: missing", w.Key()))
+			continue
+		}
+		for _, d := range diffRun(g, w, opt.FloatTol) {
+			out = append(out, fmt.Sprintf("run %s: %s", w.Key(), d))
+		}
+	}
+	if opt.RequireSameRuns {
+		for i := range got.Runs {
+			if want.Run(got.Runs[i].Key()) == nil {
+				out = append(out, fmt.Sprintf("run %s: unexpected (absent from golden)", got.Runs[i].Key()))
+			}
+		}
+	}
+	return out
+}
+
+// diffRun compares two records for the same key.
+func diffRun(got, want *RunRecord, floatTol float64) []string {
+	var out []string
+	if got.Cycles != want.Cycles {
+		out = append(out, fmt.Sprintf("cycles = %d, want %d", got.Cycles, want.Cycles))
+	}
+	if got.Err != want.Err {
+		out = append(out, fmt.Sprintf("err = %q, want %q", got.Err, want.Err))
+	}
+	for _, name := range sortedKeys(want.Counters) {
+		g, ok := got.Counters[name]
+		if !ok {
+			out = append(out, fmt.Sprintf("counter %s: missing", name))
+			continue
+		}
+		if g != want.Counters[name] {
+			out = append(out, fmt.Sprintf("counter %s = %d, want %d", name, g, want.Counters[name]))
+		}
+	}
+	for _, name := range sortedKeys(got.Counters) {
+		if _, ok := want.Counters[name]; !ok {
+			out = append(out, fmt.Sprintf("counter %s: unexpected (absent from golden — regenerate with -update?)", name))
+		}
+	}
+	for _, name := range sortedKeys(want.Derived) {
+		g, ok := got.Derived[name]
+		if !ok {
+			out = append(out, fmt.Sprintf("derived %s: missing", name))
+			continue
+		}
+		w := want.Derived[name]
+		if !floatClose(g, w, floatTol) {
+			out = append(out, fmt.Sprintf("derived %s = %g, want %g (tol %g)", name, g, w, floatTol))
+		}
+	}
+	for _, name := range sortedKeys(got.Derived) {
+		if _, ok := want.Derived[name]; !ok {
+			out = append(out, fmt.Sprintf("derived %s: unexpected (absent from golden — regenerate with -update?)", name))
+		}
+	}
+	return out
+}
+
+func floatClose(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	return d <= tol || d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HashJSON returns a short stable FNV-1a hash of v's JSON encoding; it
+// keys configurations in manifests and golden files. Values must be
+// JSON-marshalable (struct field order, and therefore the hash, is
+// stable for a given type).
+func HashJSON(v any) string {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Configurations are plain data; failure to marshal is a
+		// programming error surfaced in tests, not a runtime condition.
+		panic(fmt.Sprintf("metrics: hash: %v", err))
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// GitRev returns the VCS revision stamped into the running binary
+// ("-dirty" suffixed when the worktree was modified), or "" when the
+// build carries no VCS info (e.g. go test binaries).
+func GitRev() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "-dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return ""
+	}
+	return rev + modified
+}

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRegistryRegistrationAndLookup(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sm0.sched.issue_cycles")
+	c.Add(41)
+	c.Inc()
+	if got := c.Get(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if v, ok := r.Lookup("sm0.sched.issue_cycles"); !ok || v != 42 {
+		t.Fatalf("Lookup = %d,%v, want 42,true", v, ok)
+	}
+
+	var field int64
+	r.Int64("sm0.mem.l1_hits", &field)
+	field = 7
+	if v, ok := r.Lookup("sm0.mem.l1_hits"); !ok || v != 7 {
+		t.Fatalf("view Lookup = %d,%v, want 7,true", v, ok)
+	}
+
+	r.Gauge("sm0.mem.l1_hit_rate", func() float64 { return 0.5 })
+	if _, ok := r.Lookup("sm0.mem.l1_hit_rate"); ok {
+		t.Fatal("Lookup of a gauge should report absent")
+	}
+	if _, ok := r.Lookup("no.such.name"); ok {
+		t.Fatal("Lookup of an unknown name should report absent")
+	}
+
+	want := []string{"sm0.mem.l1_hit_rate", "sm0.mem.l1_hits", "sm0.sched.issue_cycles"}
+	if got := r.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names = %v, want %v", got, want)
+	}
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	for _, bad := range []string{"", ".", "a..b", ".a", "a.", "A.b", "a b", "sm0.Mem"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q: expected panic", bad)
+				}
+			}()
+			NewRegistry().Counter(bad)
+		}()
+	}
+	// Duplicate registration panics too.
+	r := NewRegistry()
+	r.Counter("a.b")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate name: expected panic")
+		}
+	}()
+	r.Counter("a.b")
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x.events").Add(3)
+	var num, den int64 = 1, 4
+	r.Rate("x.ratio", &num, &den)
+	h := r.Histogram("x.lat", []int64{10, 100})
+	for _, v := range []int64{5, 50, 500, 7} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	wantCounters := map[string]int64{
+		"x.events":     3,
+		"x.lat.count":  4,
+		"x.lat.sum":    562,
+		"x.lat.min":    5,
+		"x.lat.max":    500,
+		"x.lat.le_10":  2,
+		"x.lat.le_100": 1,
+		"x.lat.le_inf": 1,
+	}
+	if !reflect.DeepEqual(s.Counters, wantCounters) {
+		t.Errorf("Counters = %v, want %v", s.Counters, wantCounters)
+	}
+	if got := s.Gauges["x.ratio"]; got != 0.25 {
+		t.Errorf("ratio gauge = %v, want 0.25", got)
+	}
+	// Rate with zero denominator reads 0, not NaN.
+	den = 0
+	if got := r.Snapshot().Gauges["x.ratio"]; got != 0 {
+		t.Errorf("zero-denominator rate = %v, want 0", got)
+	}
+}
+
+func TestSnapshotSum(t *testing.T) {
+	s := &Snapshot{Counters: map[string]int64{
+		"sm0.mem.l1_hits":     3,
+		"sm1.mem.l1_hits":     4,
+		"sm0.mem.l1_accesses": 9,
+		"engine.cycles":       100,
+	}}
+	if got := s.Sum("mem.l1_hits"); got != 7 {
+		t.Errorf("Sum = %d, want 7", got)
+	}
+	if got := s.Sum("cycles"); got != 100 {
+		t.Errorf("Sum(cycles) = %d, want 100", got)
+	}
+}
+
+// TestCounterHotPathZeroAlloc pins the observability layer's core
+// promise: incrementing instruments on the issue path allocates nothing.
+func TestCounterHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot.issues")
+	var view int64
+	r.Int64("hot.view", &view)
+	h := r.Histogram("hot.hist", []int64{8, 64, 512})
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		view++
+		h.Observe(42)
+	}); n != 0 {
+		t.Errorf("hot path allocated %v times per run, want 0", n)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"warpsched/internal/config"
+	"warpsched/internal/metrics"
 )
 
 // WarpMetrics is per-warp run-time accounting shared between the SM
@@ -51,6 +52,13 @@ type Policy interface {
 	// OnBranch informs the policy of a branch outcome (CAWA's
 	// direction-based remaining-instruction estimate).
 	OnBranch(slot int, backwardTaken bool)
+}
+
+// Instrumented is implemented by policies that export internal counters
+// to a metrics registry under a hierarchical prefix (e.g.
+// "sm0.sched.u1."). Registration must not change scheduling behavior.
+type Instrumented interface {
+	RegisterMetrics(r *metrics.Registry, prefix string)
 }
 
 // New builds a baseline policy of the given kind for a scheduler unit
@@ -116,6 +124,12 @@ type GTO struct {
 	last         int // last issued slot, -1 if none
 	rotatePeriod int64
 	rot          int
+
+	// greedyPicks counts issues kept on the last warp; agedPicks counts
+	// fallbacks to the rotated age order. Their ratio measures how greedy
+	// the workload lets GTO be.
+	greedyPicks int64
+	agedPicks   int64
 }
 
 // NewGTO returns a GTO policy over slots.
@@ -132,16 +146,24 @@ func (g *GTO) Pick(cycle int64, ready func(int) bool) int {
 		g.rot = int(cycle/g.rotatePeriod) % len(g.slots)
 	}
 	if g.last >= 0 && ready(g.last) {
+		g.greedyPicks++
 		return g.last
 	}
 	n := len(g.slots)
 	for i := 0; i < n; i++ {
 		s := g.slots[(i+g.rot)%n]
 		if ready(s) {
+			g.agedPicks++
 			return s
 		}
 	}
 	return -1
+}
+
+// RegisterMetrics implements Instrumented.
+func (g *GTO) RegisterMetrics(r *metrics.Registry, prefix string) {
+	r.Int64(prefix+"gto_greedy_picks", &g.greedyPicks)
+	r.Int64(prefix+"gto_aged_picks", &g.agedPicks)
 }
 
 // OnIssue implements Policy.

@@ -14,8 +14,10 @@ import (
 
 	"warpsched/internal/config"
 	"warpsched/internal/core"
+	"warpsched/internal/energy"
 	"warpsched/internal/isa"
 	"warpsched/internal/mem"
+	"warpsched/internal/metrics"
 	"warpsched/internal/sched"
 	"warpsched/internal/simt"
 	"warpsched/internal/stats"
@@ -83,6 +85,9 @@ type Result struct {
 	PCProfile []int64
 	// Memory exposes the final memory image for verification.
 	Memory []uint32
+	// Metrics is the end-of-run snapshot of the engine's metrics registry
+	// (hierarchical per-SM counters, see internal/metrics).
+	Metrics *metrics.Snapshot
 }
 
 type wbItem struct {
@@ -196,6 +201,13 @@ type Engine struct {
 	masks  []instrMasks // per-PC scoreboard masks for launch.Prog
 	cycle  int64
 
+	// reg is the engine's metrics registry; every entry is a view over
+	// live simulator state or a snapshot-time gauge, so the registry adds
+	// no per-cycle cost. agg receives the cross-SM stats aggregate in
+	// result() so the energy gauges have a stable address to read.
+	reg *metrics.Registry
+	agg stats.Sim
+
 	nextCTA   int
 	totalCTAs int
 	ctasDone  int
@@ -285,7 +297,59 @@ func New(opt Options, launch Launch) (*Engine, error) {
 		e.sys.AttachSync(id, &m.st.Sync)
 		e.sms = append(e.sms, m)
 	}
+	e.reg = metrics.NewRegistry()
+	e.registerMetrics()
 	return e, nil
+}
+
+// Metrics exposes the engine's registry (live values; snapshot at will).
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
+
+// registerMetrics builds the engine's metric surface: hierarchical views
+// over the live per-SM stats fields plus the scheduler, detector, memory
+// and energy subsystem hooks. Registration happens once in New and
+// touches no simulation state, so instrumented and uninstrumented runs
+// are cycle-identical.
+func (e *Engine) registerMetrics() {
+	r := e.reg
+	r.Int64("engine.cycles", &e.cycle)
+	r.Gauge("engine.ctas_done", func() float64 { return float64(e.ctasDone) })
+	for _, m := range e.sms {
+		p := fmt.Sprintf("sm%d.", m.id)
+		st := &m.st
+		r.Int64(p+"exec.warp_instrs", &st.WarpInstrs)
+		r.Int64(p+"exec.thread_instrs", &st.ThreadInstrs)
+		r.Int64(p+"exec.sync_thread_instrs", &st.SyncThreadInstrs)
+		r.Int64(p+"exec.sib_instrs", &st.SIBInstrs)
+		r.Int64(p+"exec.active_lane_sum", &st.ActiveLaneSum)
+		r.Int64(p+"sched.issue_cycles", &st.IssueCycles)
+		r.Int64(p+"sched.idle_cycles", &st.IdleCycles)
+		r.Int64(p+"sched.stall_warp_cycles", &st.StallTotal)
+		r.Int64(p+"sched.backed_off_sum", &st.BackedOffSum)
+		r.Int64(p+"sched.resident_sum", &st.ResidentSum)
+		r.Int64(p+"sched.sample_cycles", &st.SampleCycles)
+		r.Int64(p+"sched.backoff_blocks", &st.BackoffBlocks)
+		r.Int64(p+"sync.lock_success", &st.Sync.LockSuccess)
+		r.Int64(p+"sync.lock_fail_inter_warp", &st.Sync.InterWarpFail)
+		r.Int64(p+"sync.lock_fail_intra_warp", &st.Sync.IntraWarpFail)
+		r.Int64(p+"sync.wait_exit_success", &st.Sync.WaitExitSuccess)
+		r.Int64(p+"sync.wait_exit_fail", &st.Sync.WaitExitFail)
+		r.Int64(p+"sync.lock_release", &st.Sync.LockRelease)
+		e.sys.RegisterMetrics(r, m.id, p+"mem.")
+		m.ddos.RegisterMetrics(r, p+"ddos.")
+		if m.bows != nil {
+			m.bows.RegisterMetrics(r, p+"bows.")
+		}
+		for j, u := range m.units {
+			up := fmt.Sprintf("%ssched.u%d.", p, j)
+			if u.wrapped != nil {
+				u.wrapped.RegisterMetrics(r, up)
+			} else if ins, ok := u.policy.(sched.Instrumented); ok {
+				ins.RegisterMetrics(r, up)
+			}
+		}
+	}
+	energy.Register(r, "energy.", energy.ByConfigName(e.opt.GPU.Name), &e.agg)
 }
 
 // Run simulates to completion and returns the result. It fails on the
@@ -599,6 +663,12 @@ func (e *Engine) result() *Result {
 	for _, m := range e.sms {
 		m.st.Cycles = e.cycle
 		m.st.Mem = *e.sys.Stats(m.id)
+		m.st.BackoffBlocks = 0
+		for _, u := range m.units {
+			if u.wrapped != nil {
+				m.st.BackoffBlocks += u.wrapped.BlockedPicks()
+			}
+		}
 		if m.bows != nil {
 			r.FinalDelayLimits = append(r.FinalDelayLimits, m.bows.DelayLimit())
 		}
@@ -625,5 +695,9 @@ func (e *Engine) result() *Result {
 			}
 		}
 	}
+	// Snapshot after the aggregate lands in e.agg so the energy gauges
+	// (registered over &e.agg) read the finished run.
+	e.agg = r.Stats
+	r.Metrics = e.reg.Snapshot()
 	return r
 }

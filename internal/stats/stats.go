@@ -54,6 +54,15 @@ type Mem struct {
 	DRAMAccesses     int64
 	AtomicOps        int64
 	FenceOps         int64
+	// MSHRStalls counts cycles an SM's segment injection stalled because
+	// every L1 MSHR was occupied; MSHRMerges counts loads merged onto an
+	// already-outstanding miss.
+	MSHRStalls int64
+	MSHRMerges int64
+	// AtomRetries counts L2 atomic-unit service attempts deferred because
+	// the target line's atomic slot was busy — the contention the paper's
+	// §II bandwidth argument rests on.
+	AtomRetries int64
 }
 
 // SyncEvents counts the per-lane synchronization outcomes of Figure 2 /
@@ -96,6 +105,9 @@ func (m *Mem) add(o *Mem) {
 	m.DRAMAccesses += o.DRAMAccesses
 	m.AtomicOps += o.AtomicOps
 	m.FenceOps += o.FenceOps
+	m.MSHRStalls += o.MSHRStalls
+	m.MSHRMerges += o.MSHRMerges
+	m.AtomRetries += o.AtomRetries
 }
 
 func (e *SyncEvents) add(o *SyncEvents) {

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -28,6 +29,31 @@ func TestAddMerges(t *testing.T) {
 	}
 	if a.Sync.LockSuccess != 4 || a.Sync.InterWarpFail != 2 || a.Sync.IntraWarpFail != 4 {
 		t.Errorf("sync counters wrong: %+v", a.Sync)
+	}
+}
+
+// fillInt64s sets every int64 field (recursing into nested structs) to x.
+func fillInt64s(v reflect.Value, x int64) {
+	for i := 0; i < v.NumField(); i++ {
+		switch f := v.Field(i); f.Kind() {
+		case reflect.Int64:
+			f.SetInt(x)
+		case reflect.Struct:
+			fillInt64s(f, x)
+		}
+	}
+}
+
+// TestAddCoversEveryField catches the classic drift bug: a counter added
+// to Sim/Mem/SyncEvents but forgotten in the corresponding add method.
+// Merging a fully populated Sim into a zero one must reproduce it exactly
+// (sums add to the zero; Cycles takes the max with zero).
+func TestAddCoversEveryField(t *testing.T) {
+	var a, b Sim
+	fillInt64s(reflect.ValueOf(&a).Elem(), 3)
+	b.Add(&a)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Add dropped a field:\n got %+v\nwant %+v", b, a)
 	}
 }
 

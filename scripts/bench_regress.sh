@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Advisory throughput-regression check: runs the simulator benchmarks
+# fresh (scripts/bench_json.sh) and compares simcycles/s per kernel
+# against the most recent committed BENCH_*.json baseline. Kernels more
+# than THRESHOLD slower than the baseline are flagged and the script
+# exits nonzero — callers (the CI bench job) treat that as advisory,
+# since shared runners make absolute throughput noisy.
+#
+# Usage: scripts/bench_regress.sh [threshold-percent]   (default 10)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+threshold="${1:-10}"
+
+baseline="$(ls -t BENCH_*.json 2>/dev/null | head -n1 || true)"
+if [[ -z "$baseline" ]]; then
+    echo "bench_regress: no BENCH_*.json baseline found; nothing to compare" >&2
+    exit 0
+fi
+echo "baseline: $baseline (threshold: ${threshold}% simcycles/s)"
+
+fresh="$(mktemp /tmp/bench_fresh.XXXXXX.json)"
+trap 'rm -f "$fresh"' EXIT
+scripts/bench_json.sh "$fresh" >/dev/null
+
+# Extract "bench simcycles_per_s" pairs from the one-object-per-line JSON
+# both files use (bench_json.sh output; no jq dependency).
+pairs() {
+    sed -n 's/.*"bench": *"\([^"]*\)".*"simcycles_per_s": *\([0-9.]*\).*/\1 \2/p' "$1"
+}
+
+pairs "$baseline" >/tmp/bench_base.txt
+pairs "$fresh" >/tmp/bench_new.txt
+
+status=0
+while read -r name new; do
+    base="$(awk -v n="$name" '$1 == n { print $2 }' /tmp/bench_base.txt)"
+    if [[ -z "$base" ]]; then
+        echo "  $name: new benchmark (no baseline)"
+        continue
+    fi
+    verdict="$(awk -v b="$base" -v n="$new" -v t="$threshold" 'BEGIN {
+        drop = 100 * (b - n) / b
+        printf "%.1f %s", drop, (drop > t) ? "REGRESSION" : "ok"
+    }')"
+    drop="${verdict% *}"
+    if [[ "${verdict#* }" == "REGRESSION" ]]; then
+        echo "  $name: ${drop}% slower (${base} -> ${new} simcycles/s)  << REGRESSION"
+        status=1
+    else
+        echo "  $name: ${drop}% slower (${base} -> ${new} simcycles/s)"
+    fi
+done </tmp/bench_new.txt
+
+if [[ "$status" -ne 0 ]]; then
+    echo "bench_regress: simulator throughput regressed >${threshold}% on at least one kernel" >&2
+fi
+exit "$status"

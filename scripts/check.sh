@@ -1,11 +1,20 @@
 #!/usr/bin/env bash
-# Repo gate: build, vet, full test suite, and the parallel-runner
+# Repo gate: formatting, build, vet, full test suite (including the
+# golden-stats regression in internal/exp), and the parallel-runner
 # determinism tests under the race detector. Run from the repo root:
 #
 #   scripts/check.sh          # gate only
 #   scripts/check.sh -bench   # gate + regenerate BENCH_PR1.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted="$(gofmt -l .)"
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "== go build =="
 go build ./...
