@@ -1,0 +1,125 @@
+// Command warplint runs the internal/analysis static analyzer over kernel
+// programs: the registered benchmark suites, a single registered kernel,
+// or assembly text files in the syntax of isa.Parse.
+//
+// Usage:
+//
+//	warplint -all                 # analyze every registered kernel (full + quick suites)
+//	warplint -kernel HT           # one registered kernel by name
+//	warplint prog.s other.s       # parse and analyze text programs
+//	warplint -all -json           # machine-readable findings
+//	warplint -all -v              # also list clean programs and suppressions
+//
+// The exit status is 0 when every analyzed program is clean (suppressed
+// findings do not fail the run), 1 when any finding is reported, and 2 on
+// usage or parse errors. Findings can be suppressed per instruction with
+// the `!nolint` annotation (isa.AnnNoLint); suppressions are visible with
+// -v and in the JSON output, never silent.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"warpsched/internal/analysis"
+	"warpsched/internal/isa"
+	"warpsched/internal/kernels"
+)
+
+func main() {
+	var (
+		all     = flag.Bool("all", false, "analyze every registered kernel (full and quick suites)")
+		kernel  = flag.String("kernel", "", "analyze one registered kernel by name")
+		jsonOut = flag.Bool("json", false, "emit findings as JSON")
+		verbose = flag.Bool("v", false, "list clean programs and suppressed findings")
+	)
+	flag.Parse()
+
+	type target struct {
+		label string
+		prog  *isa.Program
+	}
+	var targets []target
+
+	switch {
+	case *all:
+		for _, s := range []struct {
+			tag   string
+			suite []*kernels.Kernel
+		}{
+			{"", kernels.SyncSuite()},
+			{"", kernels.SyncFreeSuite()},
+			{" (quick)", kernels.QuickSyncSuite()},
+			{" (quick)", kernels.QuickSyncFreeSuite()},
+		} {
+			for _, k := range s.suite {
+				targets = append(targets, target{k.Name + s.tag, k.Launch.Prog})
+			}
+		}
+	case *kernel != "":
+		k, err := kernels.ByName(*kernel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "warplint:", err)
+			os.Exit(2)
+		}
+		targets = append(targets, target{k.Name, k.Launch.Prog})
+	case flag.NArg() > 0:
+		for _, path := range flag.Args() {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "warplint:", err)
+				os.Exit(2)
+			}
+			p, err := isa.Parse(path, string(src))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "warplint:", err)
+				os.Exit(2)
+			}
+			targets = append(targets, target{path, p})
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var reports []*analysis.Report
+	failed := false
+	for _, t := range targets {
+		rep := analysis.Analyze(t.prog)
+		reports = append(reports, rep)
+		if !rep.Clean() {
+			failed = true
+		}
+		if *jsonOut {
+			continue
+		}
+		for _, f := range rep.Findings {
+			fmt.Printf("%s:%d: [%s] %s\n", t.label, f.PC, f.Category, f.Message)
+			if f.PC >= 0 && f.PC < t.prog.Len() {
+				fmt.Printf("    %04d: %s\n", f.PC, isa.Disasm(t.prog.At(f.PC)))
+			}
+		}
+		if *verbose {
+			for _, f := range rep.Suppressed {
+				fmt.Printf("%s:%d: suppressed [%s] %s\n", t.label, f.PC, f.Category, f.Message)
+			}
+			if rep.Clean() {
+				fmt.Printf("%s: ok (%d instructions, %d suppressed)\n",
+					t.label, t.prog.Len(), len(rep.Suppressed))
+			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintln(os.Stderr, "warplint:", err)
+			os.Exit(2)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

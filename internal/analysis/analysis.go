@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"warpsched/internal/isa"
+)
+
+// Options controls suppression of findings.
+type Options struct {
+	// Allow suppresses findings by category. A nil entry value suppresses
+	// the whole category; a non-empty PC list suppresses only findings at
+	// those PCs. Findings at instructions carrying isa.AnnNoLint are
+	// always suppressed regardless of Allow.
+	Allow map[Category][]int32
+}
+
+func (o *Options) allows(f Finding) bool {
+	pcs, ok := o.Allow[f.Category]
+	if !ok {
+		return false
+	}
+	if len(pcs) == 0 {
+		return true
+	}
+	for _, pc := range pcs {
+		if pc == f.PC {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyze runs every pass over the program with default options.
+func Analyze(p *isa.Program) *Report {
+	return AnalyzeOpts(p, Options{})
+}
+
+// AnalyzeOpts runs the full analysis: structural validation, CFG/IPDOM
+// reconvergence verification, def-use dataflow lints and the
+// synchronization-discipline checks. Findings at instructions annotated
+// AnnNoLint (or allowlisted in opt) are reported under Suppressed.
+func AnalyzeOpts(p *isa.Program, opt Options) *Report {
+	rep := &Report{Program: p.Name}
+	if err := p.Validate(); err != nil {
+		// Structural invariants are broken; the CFG passes would index
+		// out of range, so report and stop.
+		rep.Findings = []Finding{{Program: p.Name, PC: -1, Category: CatInvalid, Message: err.Error()}}
+		return rep
+	}
+	g := BuildCFG(p)
+
+	var all []Finding
+	all = append(all, checkCFG(g)...)
+	all = append(all, checkNeverWritten(g)...)
+	all = append(all, checkPredDefiniteAssignment(g)...)
+	all = append(all, checkDeadWrites(g)...)
+	all = append(all, checkSyncDiscipline(g)...)
+	sortFindings(all)
+
+	for _, f := range all {
+		suppressed := opt.allows(f)
+		if !suppressed && f.PC >= 0 && f.PC < p.Len() && p.At(f.PC).HasAnn(isa.AnnNoLint) {
+			suppressed = true
+		}
+		if suppressed {
+			rep.Suppressed = append(rep.Suppressed, f)
+		} else {
+			rep.Findings = append(rep.Findings, f)
+		}
+	}
+	return rep
+}

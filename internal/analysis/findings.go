@@ -1,0 +1,112 @@
+// Package analysis implements offline static analysis over isa.Program:
+// CFG construction, dominator / immediate-post-dominator computation with
+// verification that every divergent branch's reconvergence PC equals the
+// branch's IPDOM (the property GPGPU-Sim's PTX front end guarantees by
+// construction and the SIMT stack in internal/simt relies on), register
+// and predicate def-use dataflow lints, and synchronization-discipline
+// checks for the busy-wait idioms of the paper's kernels (volatile spin
+// loads, acquire/release pairing, SIB ground-truth consistency, barriers
+// under divergent control flow).
+//
+// The analysis never executes anything: it is purely structural, so it can
+// gate kernel registration and CI without touching simulated cycle counts.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Category identifies a class of finding. Categories are stable strings
+// so they can be used in allowlists and JSON output.
+type Category string
+
+const (
+	// CatInvalid: isa.Program.Validate failed; deeper passes are skipped.
+	CatInvalid Category = "invalid"
+	// CatReconvMismatch: a guarded branch's Reconv PC differs from the
+	// immediate post-dominator of the branch in the CFG.
+	CatReconvMismatch Category = "reconv-mismatch"
+	// CatNoExitPath: no path from a divergent branch to program exit, so
+	// its post-dominator (and reconvergence point) is undefined.
+	CatNoExitPath Category = "no-exit-path"
+	// CatSIBNotBackward: an instruction annotated AnnSIB is not a guarded
+	// backward branch (DDOS can only ever detect backward branches).
+	CatSIBNotBackward Category = "sib-not-backward"
+	// CatUnreachable: the instruction can never execute.
+	CatUnreachable Category = "unreachable-code"
+	// CatUninitReg: a general-purpose register is read somewhere but
+	// written nowhere in the program.
+	CatUninitReg Category = "uninit-reg-read"
+	// CatUninitPred: a guard or selp source predicate may be used before
+	// any setp defines it on some path from entry.
+	CatUninitPred Category = "uninit-pred"
+	// CatDeadWrite: a register or predicate write whose value can never
+	// be observed (no read before every overwrite/exit). Memory ops are
+	// exempt: loads and atomics have timing/memory side effects.
+	CatDeadWrite Category = "dead-write"
+	// CatUnpairedAcquire: an AnnLockAcquire from which no AnnLockRelease
+	// is reachable — the lock could never be released.
+	CatUnpairedAcquire Category = "unpaired-acquire"
+	// CatUnpairedRelease: an AnnLockRelease no AnnLockAcquire can reach.
+	CatUnpairedRelease Category = "unpaired-release"
+	// CatSpinLoadNotVolatile: the value tested by a spin (AnnSIB) or
+	// wait-check branch is produced by a non-volatile load; on the
+	// non-coherent L1 the spin would re-read a stale line forever.
+	CatSpinLoadNotVolatile Category = "spin-load-not-volatile"
+	// CatSyncBackwardNoSIB: a guarded backward branch inside an AnnSync
+	// region is not annotated AnnSIB, so DDOS ground truth (TSDR/FSDR
+	// accounting) would drift from the sync-overhead accounting.
+	CatSyncBackwardNoSIB Category = "sync-backward-missing-sib"
+	// CatDivergentBarrier: a CTA barrier under divergent control flow —
+	// guarded by a thread-varying predicate, or inside the arm of a
+	// forward branch whose guard is thread-varying.
+	CatDivergentBarrier Category = "divergent-barrier"
+)
+
+// Finding is one analysis diagnostic, anchored at a PC of the program.
+type Finding struct {
+	Program  string   `json:"program"`
+	PC       int32    `json:"pc"`
+	Category Category `json:"category"`
+	Message  string   `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Program, f.PC, f.Category, f.Message)
+}
+
+// Report is the result of analyzing one program. Suppressed holds
+// findings whose instruction carries isa.AnnNoLint or whose (category,
+// PC) pair is allowlisted.
+type Report struct {
+	Program    string    `json:"program"`
+	Findings   []Finding `json:"findings"`
+	Suppressed []Finding `json:"suppressed,omitempty"`
+}
+
+// Clean reports whether the program has no unsuppressed findings.
+func (r *Report) Clean() bool { return len(r.Findings) == 0 }
+
+// MarshalJSON emits the report with empty finding slices rendered as []
+// rather than null, for stable machine-readable output.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	type alias Report
+	a := alias(*r)
+	if a.Findings == nil {
+		a.Findings = []Finding{}
+	}
+	return json.Marshal(a)
+}
+
+// sortFindings orders findings by PC then category for deterministic
+// output.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].PC != fs[j].PC {
+			return fs[i].PC < fs[j].PC
+		}
+		return fs[i].Category < fs[j].Category
+	})
+}

@@ -59,8 +59,110 @@ func Disasm(in *Instr) string {
 			anns = append(anns, a.name)
 		}
 	}
+	if in.HasAnn(AnnNoLint) {
+		anns = append(anns, "nolint")
+	}
 	if len(anns) > 0 {
 		fmt.Fprintf(&sb, "  ; %s", strings.Join(anns, ","))
+	}
+	return sb.String()
+}
+
+// Assembly renders the program in the exact syntax accepted by Parse, so
+// that Parse(name, p.Assembly()) rebuilds an equivalent program: same
+// opcodes, operands, guards, branch targets, reconvergence PCs and
+// annotations. Branch targets and reconvergence points become generated
+// "L<pc>" labels; reconvergence is always emitted explicitly (reconv=L)
+// so backward and forward conditional branches round-trip identically.
+func (p *Program) Assembly() string {
+	needLabel := make(map[int32]bool)
+	for pc := range p.Code {
+		in := &p.Code[pc]
+		if in.Op != OpBra {
+			continue
+		}
+		needLabel[in.Target] = true
+		if in.Guarded() && in.Reconv != NoReconv {
+			needLabel[in.Reconv] = true
+		}
+	}
+	lbl := func(pc int32) string { return fmt.Sprintf("L%d", pc) }
+
+	opd := func(o Operand) string { return o.String() } // "_" never reachable for used slots
+	addr := func(in *Instr) string {
+		if in.B.Kind == OpdNone {
+			return fmt.Sprintf("[%s]", opd(in.A))
+		}
+		return fmt.Sprintf("[%s+%s]", opd(in.A), opd(in.B))
+	}
+
+	var sb strings.Builder
+	for pc := range p.Code {
+		if needLabel[int32(pc)] {
+			fmt.Fprintf(&sb, "%s:\n", lbl(int32(pc)))
+		}
+		in := &p.Code[pc]
+		sb.WriteString("  ")
+		if in.Guarded() {
+			if in.GuardNeg {
+				fmt.Fprintf(&sb, "@!%%p%d ", in.Guard)
+			} else {
+				fmt.Fprintf(&sb, "@%%p%d ", in.Guard)
+			}
+		}
+		switch in.Op {
+		case OpNop, OpExit, OpBar, OpMembar:
+			sb.WriteString(in.Op.String())
+		case OpMov:
+			fmt.Fprintf(&sb, "mov %%r%d, %s", in.Dst, opd(in.A))
+		case OpSetp:
+			fmt.Fprintf(&sb, "setp.%s %%p%d, %s, %s", in.Cmp, in.PDst, opd(in.A), opd(in.B))
+		case OpSelp:
+			fmt.Fprintf(&sb, "selp %%r%d, %s, %s, %%p%d", in.Dst, opd(in.A), opd(in.B), in.PSrc)
+		case OpBra:
+			fmt.Fprintf(&sb, "bra %s", lbl(in.Target))
+			if in.Guarded() && in.Reconv != NoReconv {
+				fmt.Fprintf(&sb, " reconv=%s", lbl(in.Reconv))
+			}
+		case OpLd:
+			mn := "ld.global"
+			if in.Vol {
+				mn = "ld.volatile"
+			}
+			fmt.Fprintf(&sb, "%s %%r%d, %s", mn, in.Dst, addr(in))
+		case OpSt:
+			fmt.Fprintf(&sb, "st.global %s, %s", addr(in), opd(in.C))
+		case OpAtomCAS:
+			fmt.Fprintf(&sb, "atom.cas %%r%d, %s, %s, %s", in.Dst, addr(in), opd(in.C), opd(in.D))
+		case OpAtomExch, OpAtomAdd, OpAtomMax:
+			fmt.Fprintf(&sb, "%s %%r%d, %s, %s", in.Op, in.Dst, addr(in), opd(in.C))
+		case OpLdParam:
+			fmt.Fprintf(&sb, "ld.param %%r%d, %d", in.Dst, in.Param)
+		default:
+			fmt.Fprintf(&sb, "%s %%r%d, %s, %s", in.Op, in.Dst, opd(in.A), opd(in.B))
+		}
+		if in.Ann != 0 {
+			var names []string
+			for _, a := range [...]struct {
+				bit  Ann
+				name string
+			}{
+				{AnnSIB, "sib"}, {AnnLockAcquire, "acquire"},
+				{AnnLockRelease, "release"}, {AnnWaitCheck, "waitcheck"},
+				{AnnSync, "sync"}, {AnnNoLint, "nolint"},
+			} {
+				if in.HasAnn(a.bit) {
+					names = append(names, a.name)
+				}
+			}
+			fmt.Fprintf(&sb, " !%s", strings.Join(names, ","))
+		}
+		sb.WriteByte('\n')
+	}
+	// A reconvergence point one past the last instruction needs a label
+	// at end of file; Parse accepts a trailing label with no instruction.
+	if needLabel[int32(len(p.Code))] {
+		fmt.Fprintf(&sb, "%s:\n", lbl(int32(len(p.Code))))
 	}
 	return sb.String()
 }

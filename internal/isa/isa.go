@@ -277,6 +277,13 @@ const (
 	// (busy-wait loop, acquire/release) rather than useful work; used for
 	// the Figure 1c/1d overhead split.
 	AnnSync
+	// AnnNoLint suppresses static-analysis findings reported at this
+	// instruction (internal/analysis). It is the ISA-level analogue of a
+	// //lint:ignore comment: kernels that intentionally violate a lint
+	// rule annotate the offending instruction, and warplint reports the
+	// finding as suppressed instead of failing. It has no effect on
+	// execution, statistics or DDOS ground truth.
+	AnnNoLint
 )
 
 // NoGuard is the Guard value of an unguarded instruction.
@@ -393,7 +400,10 @@ func (p *Program) Validate() error {
 		if in.Op == OpSetp && int(in.PDst) >= NumPreds {
 			return fmt.Errorf("isa: %q pc=%d: predicate %%p%d out of range", p.Name, pc, in.PDst)
 		}
-		if in.Guarded() && int(in.Guard) >= NumPreds {
+		if in.Op == OpSelp && int(in.PSrc) >= NumPreds {
+			return fmt.Errorf("isa: %q pc=%d: selp source predicate %%p%d out of range", p.Name, pc, in.PSrc)
+		}
+		if in.Guarded() && (in.Guard < 0 || int(in.Guard) >= NumPreds) {
 			return fmt.Errorf("isa: %q pc=%d: guard predicate %%p%d out of range", p.Name, pc, in.Guard)
 		}
 		for _, o := range [...]Operand{in.A, in.B, in.C, in.D} {

@@ -110,6 +110,14 @@ func TestValidateCatchesBadPrograms(t *testing.T) {
 		{"bad dest reg", Program{Name: "d", Code: []Instr{
 			{Op: OpMov, Dst: NumRegs, A: I(0), Guard: NoGuard},
 		}}, "out of range"},
+		{"selp source pred out of range", Program{Name: "s", Code: []Instr{
+			{Op: OpSelp, Dst: 0, PSrc: NumPreds, A: I(1), B: I(2), Guard: NoGuard},
+			{Op: OpExit, Guard: NoGuard},
+		}}, "selp source predicate"},
+		{"guard pred out of range", Program{Name: "g", Code: []Instr{
+			{Op: OpMov, Dst: 0, A: I(0), Guard: NumPreds},
+			{Op: OpExit, Guard: NoGuard},
+		}}, "guard predicate"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -35,7 +35,7 @@ import (
 //	  exit
 //
 // A trailing "!a,b,c" annotates the instruction with any of: sib,
-// acquire, release, waitcheck, sync.
+// acquire, release, waitcheck, sync, nolint.
 func Parse(name, src string) (*Program, error) {
 	b := NewBuilder(name)
 	for lineNo, raw := range strings.Split(src, "\n") {
@@ -76,6 +76,7 @@ var annNames = map[string]Ann{
 	"release":   AnnLockRelease,
 	"waitcheck": AnnWaitCheck,
 	"sync":      AnnSync,
+	"nolint":    AnnNoLint,
 }
 
 func parseLine(b *Builder, line string) error {

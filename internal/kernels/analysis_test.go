@@ -1,0 +1,37 @@
+package kernels
+
+import (
+	"testing"
+
+	"warpsched/internal/analysis"
+)
+
+// allRegistered returns every kernel instance from the four registered
+// suites. Full and quick variants of a kernel are distinct programs (loop
+// trip counts and parameters differ), so both are analyzed.
+func allRegistered() []*Kernel {
+	var all []*Kernel
+	all = append(all, SyncSuite()...)
+	all = append(all, SyncFreeSuite()...)
+	all = append(all, QuickSyncSuite()...)
+	all = append(all, QuickSyncFreeSuite()...)
+	return all
+}
+
+// TestKernelsPassStaticAnalysis gates every registered kernel on the full
+// analyzer: CFG/IPDOM reconvergence verification, def-use dataflow and the
+// synchronization-discipline checks. Suppressions must be explicit
+// (AnnNoLint in the kernel source, with a comment); silent findings fail.
+func TestKernelsPassStaticAnalysis(t *testing.T) {
+	for _, k := range allRegistered() {
+		t.Run(k.Name, func(t *testing.T) {
+			rep := analysis.Analyze(k.Launch.Prog)
+			for _, f := range rep.Findings {
+				t.Errorf("%s", f.String())
+			}
+			for _, f := range rep.Suppressed {
+				t.Logf("suppressed: %s", f.String())
+			}
+		})
+	}
+}

@@ -1,0 +1,41 @@
+package kernels
+
+import (
+	"testing"
+
+	"warpsched/internal/isa"
+)
+
+// TestAssemblyRoundTrip re-parses the textual assembly of every registered
+// kernel and requires the resulting program to be instruction-for-
+// instruction identical to the built one. This pins Assembly and Parse to
+// each other: any operand, annotation, guard or reconvergence point that
+// one side emits and the other drops shows up as a mismatch here.
+func TestAssemblyRoundTrip(t *testing.T) {
+	for _, k := range allRegistered() {
+		t.Run(k.Name, func(t *testing.T) {
+			p := k.Launch.Prog
+			p2, err := isa.Parse(p.Name, p.Assembly())
+			if err != nil {
+				t.Fatalf("Parse(Assembly()) failed: %v", err)
+			}
+			if len(p2.Code) != len(p.Code) {
+				t.Fatalf("round trip changed length: %d -> %d", len(p.Code), len(p2.Code))
+			}
+			for pc := range p.Code {
+				if p2.Code[pc] != p.Code[pc] {
+					t.Errorf("pc %d differs:\n built: %s\nparsed: %s",
+						pc, isa.Disasm(&p.Code[pc]), isa.Disasm(&p2.Code[pc]))
+				}
+			}
+			if len(p2.TrueSIBs) != len(p.TrueSIBs) {
+				t.Fatalf("round trip changed TrueSIBs: %v -> %v", p.TrueSIBs, p2.TrueSIBs)
+			}
+			for i := range p.TrueSIBs {
+				if p2.TrueSIBs[i] != p.TrueSIBs[i] {
+					t.Fatalf("round trip changed TrueSIBs: %v -> %v", p.TrueSIBs, p2.TrueSIBs)
+				}
+			}
+		})
+	}
+}

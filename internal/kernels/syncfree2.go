@@ -595,7 +595,13 @@ func NewLUD(dim, ctaThreads int) *Kernel {
 				b.Add(rI, isa.R(rI), isa.R(rStride))
 			})
 		b.Membar()
+		// warplint conservatively marks this barrier divergent: %r8 (rTmp)
+		// is rewritten inside the thread-varying While body above, which
+		// taints %p0 and hence the outer For's top test. Every lane writes
+		// the same value (dim-k with uniform k), so the For trip count is
+		// CTA-uniform and the barrier is safe; nolint records that.
 		b.Bar()
+		b.AnnotateLast(isa.AnnNoLint)
 		// eliminate: cells (i, j) with i > k, j >= k, strided 1D
 		b.Sub(rTmp, isa.R(rDim), isa.R(rK))
 		b.Sub(rCell, isa.R(rTmp), isa.I(1))
@@ -628,7 +634,10 @@ func NewLUD(dim, ctaThreads int) *Kernel {
 				b.Add(rJ, isa.R(rJ), isa.R(rStride))
 			})
 		b.Membar()
+		// Same conservatism as the factor-phase barrier above: %p0 is
+		// tainted through %r8 but the For trip count is CTA-uniform.
 		b.Bar()
+		b.AnnotateLast(isa.AnnNoLint)
 		b.Sub(rTmp, isa.R(rDim), isa.I(1)) // restore For scratch
 	})
 	b.Exit()

@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
-# Repo gate: formatting, build, vet, full test suite (including the
-# golden-stats regression in internal/exp), and the parallel-runner
-# determinism tests under the race detector. Run from the repo root:
+# Repo gate: formatting (with simplification), build, vet, full test suite
+# (including the golden-stats regression in internal/exp), the
+# parallel-runner determinism tests under the race detector, and the
+# warplint static analyzer over every registered kernel. Run from the repo
+# root:
 #
 #   scripts/check.sh          # gate only
 #   scripts/check.sh -bench   # gate + regenerate BENCH_PR1.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== gofmt =="
-unformatted="$(gofmt -l .)"
+echo "== gofmt -s =="
+unformatted="$(gofmt -s -l .)"
 if [[ -n "$unformatted" ]]; then
     echo "gofmt: the following files need formatting:" >&2
     echo "$unformatted" >&2
@@ -21,6 +23,9 @@ go build ./...
 
 echo "== go vet =="
 go vet ./...
+
+echo "== warplint =="
+go run ./cmd/warplint -all
 
 echo "== go test =="
 go test ./...
