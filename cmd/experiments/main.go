@@ -29,6 +29,9 @@ func main() {
 		verbose   = flag.Bool("v", false, "print per-run progress")
 		list      = flag.Bool("list", false, "list experiments and exit")
 		statsJSON = flag.String("stats-json", "", "write a machine-readable run manifest (per-simulation counters) to this file")
+		check     = flag.Bool("check", false, "enable runtime invariant checking and early hang aborts in every simulation")
+		resume    = flag.String("resume", "", "crash-tolerant run journal (created if missing); completed runs found in it are replayed instead of re-simulated")
+		retries   = flag.Int("retries", 0, "retry a run that panics up to N times before recording the failure")
 	)
 	flag.Parse()
 
@@ -39,9 +42,18 @@ func main() {
 		return
 	}
 
-	cfg := exp.Cfg{SMs: *sms, Quick: *quick, Jobs: *jobs}
+	cfg := exp.Cfg{SMs: *sms, Quick: *quick, Jobs: *jobs, Check: *check, Retries: *retries}
 	if *verbose {
 		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  ..", line) }
+	}
+	if *resume != "" {
+		j, err := exp.OpenJournal(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer j.Close()
+		cfg.Journal = j
 	}
 	var col *exp.Collector
 	if *statsJSON != "" {
@@ -76,6 +88,11 @@ func main() {
 		}
 		fmt.Println(res)
 		fmt.Printf("(%s completed in %v)\n\n", e.Name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if cfg.Journal != nil {
+		fmt.Fprintf(os.Stderr, "experiments: journal %s holds %d runs (%d replayed this invocation)\n",
+			*resume, cfg.Journal.Len(), cfg.Journal.Hits())
 	}
 
 	if col != nil {

@@ -34,6 +34,9 @@ func main() {
 		traceN    = flag.Int("trace", 0, "print the last N pipeline events (issues, SIBs, back-off exits)")
 		list      = flag.Bool("list", false, "list available kernels and exit")
 		statsJSON = flag.String("stats-json", "", "write a machine-readable run manifest (full per-SM counter snapshot) to this file")
+		check     = flag.Bool("check", false, "enable runtime invariant checking and early hang aborts (diagnoses deadlock/livelock/starvation)")
+		faultSeed = flag.Uint64("fault-seed", 0, "inject deterministic memory faults (latency spikes, reordering, atomic retry storms) with this seed; 0 = off")
+		faultRate = flag.Float64("fault-rate", 1.0, "scale fault-injection probabilities by this factor (with -fault-seed)")
 	)
 	flag.Parse()
 
@@ -83,6 +86,14 @@ func main() {
 	}
 	if strings.EqualFold(*hash, "modulo") {
 		opt.DDOS.Hash = "MODULO"
+	}
+	if *check {
+		opt.Check = true
+		opt.HangWindow = warpsched.DefaultHangWindow
+	}
+	if *faultSeed != 0 {
+		f := warpsched.DefaultFaults(*faultSeed).Scale(*faultRate)
+		opt.Faults = &f
 	}
 
 	if *listing {

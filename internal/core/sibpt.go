@@ -1,6 +1,10 @@
 package core
 
-import "warpsched/internal/metrics"
+import (
+	"sort"
+
+	"warpsched/internal/metrics"
+)
 
 // SIBEntry is one Spin-inducing Branch Prediction Table entry: the branch
 // PC, its confidence counter and its prediction (paper Figure 7b).
@@ -107,6 +111,24 @@ func (t *SIBPT) ConfirmedPCs() []int32 {
 			out = append(out, pc)
 		}
 	}
+	return out
+}
+
+// SIBView is one table entry's observable state (hang-report snapshots).
+type SIBView struct {
+	PC         int32
+	Confidence int
+	Confirmed  bool
+}
+
+// Snapshot returns a PC-sorted copy of the table's entries, for
+// attaching to diagnostic reports without exposing live state.
+func (t *SIBPT) Snapshot() []SIBView {
+	out := make([]SIBView, 0, len(t.entries))
+	for pc, e := range t.entries {
+		out = append(out, SIBView{PC: pc, Confidence: e.conf, Confirmed: e.confirmed})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PC < out[j].PC })
 	return out
 }
 

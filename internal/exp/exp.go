@@ -13,6 +13,7 @@ import (
 
 	"warpsched/internal/config"
 	"warpsched/internal/kernels"
+	"warpsched/internal/mem"
 	"warpsched/internal/sim"
 )
 
@@ -41,6 +42,27 @@ type Cfg struct {
 	// instance — use trace.Buffers; sharing one Ring across engines is a
 	// data race under Jobs > 1.
 	Tracer func(i int) sim.Tracer
+	// Check enables the engine's runtime invariant checker and early hang
+	// aborts for every run (cmd/experiments -check). Checked runs simulate
+	// cycle-identically to unchecked ones — they only fail faster and with
+	// a diagnosis when something is wrong.
+	Check bool
+	// Faults, when non-nil, wires the deterministic memory fault injector
+	// into every run (see mem.FaultConfig). Used by the robustness test
+	// suite; injected runs are deterministic per seed but differ from
+	// clean runs, so never combine with golden comparisons.
+	Faults *mem.FaultConfig
+	// Journal, when non-nil, makes the sweep crash-tolerant and resumable
+	// (cmd/experiments -resume): specs whose results are already journaled
+	// are replayed instead of re-simulated, and freshly finished specs are
+	// appended, so an interrupted sweep picks up where it died and renders
+	// byte-identical tables.
+	Journal *Journal
+	// Retries bounds re-runs of a spec whose simulation panicked (the
+	// panic is recovered into the run record either way). Deterministic
+	// failures — watchdog aborts, verification mismatches, invariant
+	// violations — are never retried.
+	Retries int
 }
 
 func (c Cfg) note(format string, args ...any) {
@@ -94,12 +116,17 @@ func (c Cfg) syncFreeSuite() []*kernels.Kernel {
 // the paper itself reports in §VI-D) at expMaxCycles; the partial result
 // is returned alongside the error so sweeps can record "at least this
 // slow" instead of aborting.
-func run(gpu config.GPU, kind config.SchedulerKind, bows config.BOWS,
+func (c Cfg) run(gpu config.GPU, kind config.SchedulerKind, bows config.BOWS,
 	ddos config.DDOS, k *kernels.Kernel, tr sim.Tracer) (*sim.Result, error) {
 	if gpu.MaxCycles > expMaxCycles {
 		gpu.MaxCycles = expMaxCycles
 	}
-	eng, err := sim.New(sim.Options{GPU: gpu, Sched: kind, BOWS: bows, DDOS: ddos, Tracer: tr}, k.Launch)
+	opt := sim.Options{GPU: gpu, Sched: kind, BOWS: bows, DDOS: ddos, Tracer: tr, Faults: c.Faults}
+	if c.Check {
+		opt.Check = true
+		opt.HangWindow = sim.DefaultHangWindow
+	}
+	eng, err := sim.New(opt, k.Launch)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,199 @@
+// Crash-tolerant sweep resumption. A Journal is an append-only JSONL
+// file with one entry per finished simulation, keyed by the spec's
+// variant hash (collect.go). Interrupting a sweep — a crash, a kill, a
+// power cut mid-write — loses at most the entry being appended; on the
+// next invocation finished specs replay from the journal (their results
+// were verified before journaling) and only unfinished work simulates.
+// Because replay restores the exact Result fields and error strings the
+// original run produced, a resumed sweep renders byte-identical tables
+// and manifests.
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"warpsched/internal/core"
+	"warpsched/internal/metrics"
+	"warpsched/internal/sim"
+	"warpsched/internal/stats"
+)
+
+// journalResult is the JSON-serializable subset of sim.Result a table can
+// consume. Memory is deliberately omitted: kernel output is verified
+// before an entry is written, so replay never needs it.
+type journalResult struct {
+	Stats            stats.Sim               `json:"stats"`
+	PerSM            []stats.Sim             `json:"per_sm,omitempty"`
+	Detection        core.DetectionMetrics   `json:"detection"`
+	PerSMDetection   []core.DetectionMetrics `json:"per_sm_detection,omitempty"`
+	ConfirmedSIBs    []int32                 `json:"confirmed_sibs,omitempty"`
+	MaxSIBPTEntries  int                     `json:"max_sibpt_entries,omitempty"`
+	FinalDelayLimits []int64                 `json:"final_delay_limits,omitempty"`
+	Metrics          *metrics.Snapshot       `json:"metrics,omitempty"`
+}
+
+func toJournalResult(r *sim.Result) *journalResult {
+	if r == nil {
+		return nil
+	}
+	return &journalResult{
+		Stats:            r.Stats,
+		PerSM:            r.PerSM,
+		Detection:        r.Detection,
+		PerSMDetection:   r.PerSMDetection,
+		ConfirmedSIBs:    r.ConfirmedSIBs,
+		MaxSIBPTEntries:  r.MaxSIBPTEntries,
+		FinalDelayLimits: r.FinalDelayLimits,
+		Metrics:          r.Metrics,
+	}
+}
+
+func (jr *journalResult) toResult() *sim.Result {
+	if jr == nil {
+		return nil
+	}
+	return &sim.Result{
+		Stats:            jr.Stats,
+		PerSM:            jr.PerSM,
+		Detection:        jr.Detection,
+		PerSMDetection:   jr.PerSMDetection,
+		ConfirmedSIBs:    jr.ConfirmedSIBs,
+		MaxSIBPTEntries:  jr.MaxSIBPTEntries,
+		FinalDelayLimits: jr.FinalDelayLimits,
+		Metrics:          jr.Metrics,
+	}
+}
+
+// journalEntry is one JSONL line: the spec's variant hash, the run's
+// error string (empty on success — replay restores it verbatim so
+// manifests compare equal), and the result.
+type journalEntry struct {
+	Key string         `json:"key"`
+	Err string         `json:"err,omitempty"`
+	Res *journalResult `json:"res,omitempty"`
+}
+
+// Journal is a crash-tolerant store of finished runs. One Journal serves
+// a whole parallel sweep; lookup and record are safe under Jobs > 1.
+type Journal struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	entries map[string]journalEntry
+	hits    int
+}
+
+// OpenJournal loads (or creates) the journal at path. A truncated final
+// line — the signature of a run killed mid-append — is dropped silently;
+// corruption anywhere else is an error, since dropping a complete entry
+// would silently re-simulate work the user believes finished.
+func OpenJournal(path string) (*Journal, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("exp: reading journal: %w", err)
+	}
+	entries := make(map[string]journalEntry)
+	lines := bytes.Split(data, []byte("\n"))
+	for i, line := range lines {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var e journalEntry
+		if jerr := json.Unmarshal(line, &e); jerr != nil || e.Key == "" {
+			if i == len(lines)-1 || allBlank(lines[i+1:]) {
+				break // torn final append: resume re-runs that one spec
+			}
+			return nil, fmt.Errorf("exp: journal %s line %d corrupt: %v", path, i+1, jerr)
+		}
+		entries[e.Key] = e
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("exp: opening journal for append: %w", err)
+	}
+	return &Journal{path: path, f: f, entries: entries}, nil
+}
+
+func allBlank(lines [][]byte) bool {
+	for _, l := range lines {
+		if len(bytes.TrimSpace(l)) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// Len returns the number of loaded + appended entries; Hits the number of
+// lookups served from the journal this invocation.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+func (j *Journal) Hits() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.hits
+}
+
+// lookup replays a finished run. The restored error is a plain string —
+// typed detail (hang reports, panic stacks) lives only in the original
+// invocation — but its message is verbatim, so records and tables built
+// from a replay match the original byte for byte.
+func (j *Journal) lookup(key string) (runOut, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e, ok := j.entries[key]
+	if !ok {
+		return runOut{}, false
+	}
+	j.hits++
+	o := runOut{res: e.Res.toResult()}
+	if e.Err != "" {
+		o.err = errors.New(e.Err)
+	}
+	return o, true
+}
+
+// record journals one finished run (success or deterministic failure).
+// Appends are serialized; each entry is a single JSONL line, so a crash
+// mid-append corrupts at most the file's tail, which OpenJournal drops.
+func (j *Journal) record(key string, o runOut) error {
+	e := journalEntry{Key: key, Res: toJournalResult(o.res)}
+	if o.err != nil {
+		e.Err = o.err.Error()
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("exp: journaling %s: %w", key, err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("exp: journal %s already closed", j.path)
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("exp: journaling %s: %w", key, err)
+	}
+	j.entries[key] = e
+	return nil
+}

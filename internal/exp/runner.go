@@ -1,8 +1,11 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 
@@ -103,35 +106,108 @@ func (c Cfg) runAll(specs []runSpec) []runOut {
 	return out
 }
 
+// PanicError records a simulation that panicked: the spec it was running,
+// the panic value, and the goroutine stack at recovery time. The runner
+// converts panics into failed-run records (bounded retries first, see
+// Cfg.Retries) so one crashing configuration cannot take down a sweep.
+type PanicError struct {
+	Kernel string
+	Sched  config.SchedulerKind
+	Value  string
+	Stack  string
+}
+
+// Error includes the stack so manifests and journals carry the full
+// diagnosis; progress lines use Brief.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic during %s/%s: %s\n%s", e.Kernel, e.Sched, e.Value, e.Stack)
+}
+
+// Brief is the one-line form (panic value without the stack).
+func (e *PanicError) Brief() string {
+	return fmt.Sprintf("panic: %s", e.Value)
+}
+
+// guardedRun executes one simulation with a panic barrier: a panic that
+// escapes the engine (its own recovery handles known fault types) becomes
+// a *PanicError instead of crashing the sweep.
+func (c Cfg) guardedRun(sp *runSpec, tr sim.Tracer) (o runOut) {
+	defer func() {
+		if r := recover(); r != nil {
+			o = runOut{err: &PanicError{Kernel: sp.k.Name, Sched: sp.sched,
+				Value: fmt.Sprint(r), Stack: string(debug.Stack())}}
+		}
+	}()
+	res, err := c.run(sp.gpu, sp.sched, sp.bows, sp.ddos, sp.k, tr)
+	return runOut{res: res, err: err}
+}
+
 // runOne executes a single spec and reports its completion. With a nil
-// progress channel the line goes directly to c.note (serial path).
+// progress channel the line goes directly to c.note (serial path). With a
+// journal attached, finished specs replay instead of re-simulating, and
+// fresh outcomes are journaled for the next invocation.
 func (c Cfg) runOne(sp *runSpec, i, n int, progress chan<- string) runOut {
+	var key, suffix string
+	if c.Journal != nil {
+		key = variantHash(sp)
+		if o, ok := c.Journal.lookup(key); ok {
+			c.collect(sp, &o, 0)
+			c.report(sp, o, i, n, " (from journal)", progress)
+			return o
+		}
+	}
 	var tr sim.Tracer
 	if c.Tracer != nil {
 		tr = c.Tracer(i)
 	}
 	start := time.Now()
-	res, err := run(sp.gpu, sp.sched, sp.bows, sp.ddos, sp.k, tr)
-	o := runOut{res: res, err: err}
-	if c.Collect != nil {
-		rec := buildRecord(sp, o, float64(time.Since(start).Microseconds())/1e3)
-		// A collection failure means two specs hashed to one manifest key
-		// with different counters — a determinism violation worth failing
-		// the sweep over, but never one that masks a simulation error.
-		if cerr := c.Collect.add(rec); cerr != nil && o.err == nil {
-			o.err = cerr
+	o := c.guardedRun(sp, tr)
+	for attempt := 0; attempt < c.Retries; attempt++ {
+		var pe *PanicError
+		if !errors.As(o.err, &pe) {
+			break // deterministic outcome: retrying would repeat it
+		}
+		suffix = fmt.Sprintf(" (retry %d)", attempt+1)
+		o = c.guardedRun(sp, tr)
+	}
+	if c.Journal != nil {
+		if jerr := c.Journal.record(key, o); jerr != nil && o.err == nil {
+			// A run whose result cannot be journaled must not be reported
+			// as resumable work; surface the write failure.
+			o.err = jerr
 		}
 	}
-	if c.Progress != nil {
-		line := fmt.Sprintf("[%d/%d] %s %s%s on %s: %s", i+1, n,
-			sp.k.Name, sp.sched, bowsTag(sp.bows), sp.gpu.Name, outcome(o))
-		if progress != nil {
-			progress <- line
-		} else {
-			c.Progress(line)
-		}
-	}
+	c.collect(sp, &o, float64(time.Since(start).Microseconds())/1e3)
+	c.report(sp, o, i, n, suffix, progress)
 	return o
+}
+
+// collect adds the run to the manifest collector, if any.
+func (c Cfg) collect(sp *runSpec, o *runOut, wallMS float64) {
+	if c.Collect == nil {
+		return
+	}
+	rec := buildRecord(sp, *o, wallMS)
+	// A collection failure means two specs hashed to one manifest key
+	// with different counters — a determinism violation worth failing
+	// the sweep over, but never one that masks a simulation error.
+	if cerr := c.Collect.add(rec); cerr != nil && o.err == nil {
+		o.err = cerr
+	}
+}
+
+// report emits the run's one-line completion to Cfg.Progress.
+func (c Cfg) report(sp *runSpec, o runOut, i, n int, suffix string, progress chan<- string) {
+	if c.Progress == nil {
+		return
+	}
+	line := fmt.Sprintf("[%d/%d] %s %s%s on %s: %s%s", i+1, n,
+		sp.k.Name, sp.sched, bowsTag(sp.bows), sp.gpu.Name, outcome(o), suffix)
+	if progress != nil {
+		progress <- line
+	} else {
+		c.Progress(line)
+	}
 }
 
 func bowsTag(b config.BOWS) string {
@@ -142,11 +218,19 @@ func bowsTag(b config.BOWS) string {
 }
 
 func outcome(o runOut) string {
+	var he *sim.HangError
+	var pe *PanicError
 	switch {
+	case errors.As(o.err, &he):
+		// Hang diagnosis: classification plus the top stuck warps.
+		return he.Summary()
+	case errors.As(o.err, &pe):
+		return pe.Brief()
 	case o.err != nil && o.res != nil:
 		return fmt.Sprintf("watchdog at %d cycles", o.res.Stats.Cycles)
 	case o.err != nil:
-		return o.err.Error()
+		// First line only: journal-replayed panic records carry stacks.
+		return strings.SplitN(o.err.Error(), "\n", 2)[0]
 	default:
 		return fmt.Sprintf("%d cycles", o.res.Stats.Cycles)
 	}

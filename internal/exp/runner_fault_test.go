@@ -1,0 +1,135 @@
+package exp
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"warpsched/internal/config"
+	"warpsched/internal/kernels"
+	"warpsched/internal/mem"
+)
+
+// TestRunnerFaultInjectionStress runs the quick synchronization suite
+// under seeded memory faults — latency spikes, response reordering,
+// atomic retry storms — with GTO and GTO+BOWS, invariant checking and
+// hang aborts armed. Every kernel must still produce verified output:
+// fault injection perturbs timing, never correctness.
+func TestRunnerFaultInjectionStress(t *testing.T) {
+	suite := kernels.QuickSyncSuite()
+	if len(suite) > 2 {
+		suite = suite[:2] // HT + ATM keep the stress matrix affordable
+	}
+	g := config.GTX480().Scaled(2)
+	for _, seed := range []uint64{1, 99} {
+		for _, bows := range []config.BOWS{bowsOff(), config.DefaultBOWS()} {
+			var specs []runSpec
+			for _, k := range suite {
+				specs = append(specs, runSpec{g, config.GTO, bows, config.DefaultDDOS(), k})
+			}
+			faults := mem.DefaultFaults(seed)
+			c := Cfg{Jobs: 2, Check: true, Faults: &faults}
+			outs := c.runAll(specs)
+			for i, o := range outs {
+				if o.err != nil {
+					t.Errorf("seed=%d bows=%s %s: %v", seed, bows.Mode, specs[i].k.Name, o.err)
+				}
+			}
+		}
+	}
+}
+
+// TestRunnerFaultDeterminism: the same fault seed twice gives identical
+// statistics; a different seed gives a different timing profile.
+func TestRunnerFaultDeterminism(t *testing.T) {
+	sp := testSpec(64)
+	run := func(seed uint64) *runOut {
+		faults := mem.DefaultFaults(seed)
+		c := Cfg{Check: true, Faults: &faults}
+		o := c.guardedRun(&sp, nil)
+		if o.err != nil {
+			t.Fatalf("seed=%d: %v", seed, o.err)
+		}
+		return &o
+	}
+	a, b := run(5), run(5)
+	if !reflect.DeepEqual(a.res.Stats, b.res.Stats) {
+		t.Errorf("same fault seed produced different stats:\n%+v\n%+v", a.res.Stats, b.res.Stats)
+	}
+	if c := run(6); reflect.DeepEqual(a.res.Stats, c.res.Stats) {
+		t.Error("different fault seeds produced identical stats (injector inert?)")
+	}
+}
+
+// panicKernel returns a healthy launch whose Verify closure panics —
+// standing in for any bug that escapes the engine's own recovery.
+func panicKernel() *kernels.Kernel {
+	k := kernels.NewHashTable(kernels.HashTableConfig{
+		Items: 256, Buckets: 16, CTAs: 2, CTAThreads: 64,
+	})
+	k.Verify = func([]uint32) error { panic("synthetic verifier bug") }
+	return k
+}
+
+// TestRunnerPanicRecovered: a panicking run becomes a *PanicError record
+// carrying the panic value and stack; sibling specs complete untouched.
+func TestRunnerPanicRecovered(t *testing.T) {
+	specs := []runSpec{testSpec(64), testSpec(64), testSpec(64)}
+	specs[1].k = panicKernel()
+	outs := Cfg{Jobs: 3}.runAll(specs)
+	if outs[0].err != nil || outs[2].err != nil {
+		t.Errorf("healthy specs errored: %v / %v", outs[0].err, outs[2].err)
+	}
+	var pe *PanicError
+	if !errors.As(outs[1].err, &pe) {
+		t.Fatalf("expected *PanicError, got %v", outs[1].err)
+	}
+	if pe.Value != "synthetic verifier bug" || pe.Kernel == "" {
+		t.Errorf("panic record incomplete: %+v", pe)
+	}
+	if !strings.Contains(pe.Error(), "goroutine") {
+		t.Error("panic record carries no stack trace")
+	}
+	if strings.Contains(pe.Brief(), "goroutine") {
+		t.Error("Brief should omit the stack")
+	}
+}
+
+// TestRunnerRetryPolicy: panicking runs are retried up to Cfg.Retries;
+// deterministic failures are not retried.
+func TestRunnerRetryPolicy(t *testing.T) {
+	attempts := 0
+	sp := testSpec(64)
+	k := panicKernel()
+	k.Verify = func([]uint32) error { attempts++; panic(attempts) }
+	sp.k = k
+	o := Cfg{Retries: 2}.runOne(&sp, 0, 1, nil)
+	if attempts != 3 {
+		t.Errorf("ran %d attempts, want 3 (1 + 2 retries)", attempts)
+	}
+	var pe *PanicError
+	if !errors.As(o.err, &pe) {
+		t.Fatalf("expected *PanicError after exhausted retries, got %v", o.err)
+	}
+
+	// A deterministic failure (sim.New rejects the launch) must not retry.
+	calls := 0
+	bad := testSpec(64)
+	badK := kernels.NewHashTable(kernels.HashTableConfig{
+		Items: 64, Buckets: 16, CTAs: 1, CTAThreads: 64,
+	})
+	badK.Launch.GridCTAs = 0
+	badK.Verify = func([]uint32) error { calls++; return nil }
+	bad.k = badK
+	o = Cfg{Retries: 5}.runOne(&bad, 0, 1, nil)
+	if o.err == nil {
+		t.Fatal("sabotaged launch succeeded")
+	}
+	if errors.As(o.err, &pe) {
+		t.Errorf("deterministic failure surfaced as a panic: %v", o.err)
+	}
+	if calls != 0 {
+		t.Errorf("verifier ran %d times on a rejected launch", calls)
+	}
+}

@@ -13,8 +13,6 @@
 package mem
 
 import (
-	"fmt"
-
 	"warpsched/internal/config"
 	"warpsched/internal/isa"
 	"warpsched/internal/metrics"
@@ -196,6 +194,14 @@ type System struct {
 	// holder would deadlock the queue — the race HQL resolves with
 	// negative acknowledgements.
 	warpHolds map[int32]int
+
+	// inj, when non-nil, perturbs completion timing and the atomic unit
+	// (see faultinject.go). Nil on every normal run: the hot path pays one
+	// pointer test per scheduled event.
+	inj *faultInjector
+	// curSeg is the segment whose accesses are being applied, so an
+	// address fault can name the SM, warp and operation it was servicing.
+	curSeg *segment
 }
 
 // lockWaiter is one parked lock acquire: the segment and the index of
@@ -278,13 +284,25 @@ func (s *System) Write(addr uint32, v uint32) {
 // Words exposes the backing store for bulk kernel setup/verification.
 func (s *System) Words() []uint32 { return s.words }
 
+// check bounds-validates a functional access. An out-of-range address
+// panics with a structured *AddrFault (carrying the servicing SM, warp
+// and op when inside a transaction) that the engine recovers into a
+// returned error — see sim.Engine.Run.
 func (s *System) check(addr uint32) {
 	if int(addr) >= len(s.words) {
-		panic(fmt.Sprintf("mem: address %d out of range (size %d words)", addr, len(s.words)))
+		f := &AddrFault{Addr: addr, Size: len(s.words)}
+		if seg := s.curSeg; seg != nil && seg.req != nil {
+			f.HasCtx = true
+			f.SM, f.WarpSlot, f.Op = seg.req.SM, seg.req.WarpSlot, seg.req.Op
+		}
+		panic(f)
 	}
 }
 
 func (s *System) schedule(at int64, kind evKind, seg *segment) {
+	if s.inj != nil {
+		at += s.inj.delay()
+	}
 	s.seq++
 	s.events.push(event{at: at, seq: s.seq, kind: kind, seg: seg})
 }
@@ -477,6 +495,13 @@ func (s *System) Tick(cycle int64) {
 					i++ // line's atomic slot occupied; leave queued
 					continue
 				}
+				if s.inj != nil && s.inj.forceAtomRetry() {
+					// Injected retry storm: NACK the service attempt exactly
+					// like a busy atomic slot would.
+					s.ports[seg.req.SM].stats.AtomRetries++
+					i++
+					continue
+				}
 				cost = s.cfg.AtomCost
 				s.atomBusy[seg.line] = cycle + s.cfg.AtomLat
 			}
@@ -620,6 +645,8 @@ func (s *System) loadFilled(seg *segment) {
 }
 
 func (s *System) applyLoads(seg *segment) {
+	s.curSeg = seg
+	defer func() { s.curSeg = nil }()
 	for _, li := range seg.lanes {
 		a := &seg.req.Accesses[li]
 		a.Result = s.Read(a.Addr)
@@ -627,6 +654,8 @@ func (s *System) applyLoads(seg *segment) {
 }
 
 func (s *System) applyStores(seg *segment) {
+	s.curSeg = seg
+	defer func() { s.curSeg = nil }()
 	for _, li := range seg.lanes {
 		a := &seg.req.Accesses[li]
 		s.Write(a.Addr, a.V1)
@@ -682,6 +711,8 @@ func (s *System) grantNext(addr uint32) {
 // segment in lane order — the intra-warp serialization order of real
 // hardware — and maintains lock-owner tracking for annotated operations.
 func (s *System) applyAtomics(seg *segment) {
+	s.curSeg = seg
+	defer func() { s.curSeg = nil }()
 	r := seg.req
 	sync := s.ports[r.SM].sync
 	for _, li := range seg.lanes {

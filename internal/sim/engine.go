@@ -48,6 +48,26 @@ type Options struct {
 	Profile bool
 	// Tracer, when non-nil, receives pipeline events (see internal/trace).
 	Tracer Tracer
+
+	// Check enables the runtime invariant checker (internal/sim/invariants.go):
+	// every CheckEvery cycles (DefaultCheckEvery when zero) the engine
+	// cross-checks scoreboards, request-pool balance, CTA accounting and the
+	// memory system's internal audit, failing with an *InvariantError.
+	// Checks only read state, so a checked run simulates identically.
+	Check      bool
+	CheckEvery int64
+	// HangWindow arms early hang aborts: when positive, a hang classified
+	// over two consecutive windows of that many cycles (see
+	// internal/sim/hang.go) aborts the run with a *HangError instead of
+	// burning the rest of the MaxCycles budget. Zero disables early aborts;
+	// progress monitoring still runs passively (at DefaultHangWindow) so
+	// watchdog errors carry a HangReport either way.
+	HangWindow int64
+	// Faults, when non-nil, wires a deterministic fault injector into the
+	// memory system (see mem.FaultConfig): seeded latency spikes, response
+	// reordering and atomic retry storms. Results remain deterministic for
+	// a given seed but differ from uninjected runs.
+	Faults *mem.FaultConfig
 }
 
 // Tracer receives pipeline events during simulation. trace.Ring is the
@@ -145,8 +165,12 @@ type smState struct {
 	readyFn func(int) bool
 	doneFn  func(*mem.Request)
 	// reqFree pools memory requests (with their access buffers); requests
-	// return to the pool in memDone.
+	// return to the pool in memDone. reqGets/reqPuts count pool traffic so
+	// the invariant checker can prove issued == completed + in-flight and
+	// catch request leaks (they are not registered metrics).
 	reqFree []*mem.Request
+	reqGets int64
+	reqPuts int64
 }
 
 // instrMasks caches, per PC, the scoreboard bits ready must test: every
@@ -247,6 +271,9 @@ func New(opt Options, launch Launch) (*Engine, error) {
 	e := &Engine{opt: opt, launch: launch, totalCTAs: launch.GridCTAs}
 	e.masks = buildMasks(launch.Prog)
 	e.sys = mem.NewSystem(opt.GPU.Mem, opt.GPU.NumSMs, opt.GPU.WarpsPerSM, launch.MemWords)
+	if opt.Faults != nil {
+		e.sys.InjectFaults(*opt.Faults)
+	}
 	if launch.Setup != nil {
 		launch.Setup(e.sys.Words())
 	}
@@ -353,15 +380,56 @@ func (e *Engine) registerMetrics() {
 }
 
 // Run simulates to completion and returns the result. It fails on the
-// MaxCycles watchdog (livelock/deadlock guard).
-func (e *Engine) Run() (*Result, error) {
+// MaxCycles watchdog (livelock/deadlock guard) with a *HangError whose
+// report classifies the stall and names the stuck warps; with
+// Options.HangWindow set it aborts as soon as a hang is confirmed. A
+// memory-system address fault (out-of-range access) is recovered into an
+// error wrapping *mem.AddrFault rather than crashing the process; the
+// partial result accompanies every failure.
+func (e *Engine) Run() (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			f, ok := r.(*mem.AddrFault)
+			if !ok {
+				panic(r) // unknown panic: not ours to translate
+			}
+			res = e.result()
+			err = fmt.Errorf("sim: %s on %s/%s: cycle %d: %w",
+				e.launch.Prog.Name, e.opt.GPU.Name, e.opt.Sched, e.cycle, f)
+		}
+	}()
+
+	checkEvery := e.opt.CheckEvery
+	if checkEvery <= 0 {
+		checkEvery = DefaultCheckEvery
+	}
+	nextCheck := checkEvery
+	hm := newHangMonitor(e)
+
 	e.dispatch()
 	for e.ctasDone < e.totalCTAs {
 		if e.cycle >= e.opt.GPU.MaxCycles {
-			// Return the partial result alongside the error so callers can
+			// Refresh the progress deltas over the final (partial) window so
+			// the report reflects the machine's state at abort time, and
+			// return the partial result alongside the error so callers can
 			// inspect what the machine was doing when the watchdog fired.
-			return e.result(), fmt.Errorf("sim: %s on %s/%s: exceeded MaxCycles=%d (%d/%d CTAs done) — livelock?",
-				e.launch.Prog.Name, e.opt.GPU.Name, e.opt.Sched, e.opt.GPU.MaxCycles, e.ctasDone, e.totalCTAs)
+			hm.sample()
+			return e.result(), &HangError{
+				Report:    e.buildHangReport(hm, hm.lastClass),
+				Watchdog:  true,
+				MaxCycles: e.opt.GPU.MaxCycles,
+			}
+		}
+		if e.cycle >= hm.next {
+			if class := hm.sample(); class != HangUnknown && e.opt.HangWindow > 0 {
+				return e.result(), &HangError{Report: e.buildHangReport(hm, class)}
+			}
+		}
+		if e.opt.Check && e.cycle >= nextCheck {
+			nextCheck = e.cycle + checkEvery
+			if ierr := e.checkInvariants(false); ierr != nil {
+				return e.result(), ierr
+			}
 		}
 		e.sys.Tick(e.cycle)
 		for _, m := range e.sms {
@@ -381,6 +449,11 @@ func (e *Engine) Run() (*Result, error) {
 		}
 		e.sys.Tick(e.cycle)
 		e.cycle++
+	}
+	if e.opt.Check {
+		if ierr := e.checkInvariants(true); ierr != nil {
+			return e.result(), ierr
+		}
 	}
 	return e.result(), nil
 }
@@ -611,6 +684,7 @@ func (m *smState) issueMem(w *simt.Warp, in *isa.Instr, res simt.ExecResult, slo
 // getReq takes a pooled memory request (or allocates one). Requests
 // return to the pool in memDone, after the memory system's final touch.
 func (m *smState) getReq() *mem.Request {
+	m.reqGets++
 	if n := len(m.reqFree); n > 0 {
 		req := m.reqFree[n-1]
 		m.reqFree[n-1] = nil
@@ -635,6 +709,7 @@ func (m *smState) memDone(r *mem.Request) {
 		}
 	}
 	r.Owner = nil
+	m.reqPuts++
 	m.reqFree = append(m.reqFree, r)
 }
 

@@ -1,0 +1,278 @@
+// Runtime invariant checking. With Options.Check enabled the engine
+// periodically cross-checks redundant state the simulator maintains in
+// several places at once — scoreboard pending bits against in-flight
+// producers, request-pool gets against puts, CTA slot accounting against
+// residency — and fails fast with a structured InvariantError instead of
+// silently simulating garbage for millions of cycles. Checks are pure
+// reads: a checked run simulates cycle-identically to an unchecked one,
+// it just may stop earlier.
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"warpsched/internal/mem"
+	"warpsched/internal/simt"
+)
+
+// DefaultCheckEvery is the cycle period between invariant sweeps when
+// Options.CheckEvery is unset. Each sweep walks every warp slot and
+// in-flight request, so the period trades detection latency against
+// simulation speed; 4096 keeps checked runs within a few percent of
+// unchecked ones.
+const DefaultCheckEvery int64 = 4096
+
+// maxStackDepth bounds the SIMT reconvergence stack: a divergence pushes
+// at most one entry per active lane transition, so a 32-lane warp can
+// never legitimately exceed 2×32+1 frames.
+const maxStackDepth = 65
+
+// InvariantViolation is one failed consistency check. SM and Slot are -1
+// when the violation is not tied to one.
+type InvariantViolation struct {
+	Name   string // e.g. "scoreboard.stuck-bit", "pool.balance"
+	Cycle  int64
+	SM     int
+	Slot   int
+	Detail string
+}
+
+func (v InvariantViolation) String() string {
+	loc := ""
+	switch {
+	case v.SM >= 0 && v.Slot >= 0:
+		loc = fmt.Sprintf(" sm%d/w%d", v.SM, v.Slot)
+	case v.SM >= 0:
+		loc = fmt.Sprintf(" sm%d", v.SM)
+	}
+	return fmt.Sprintf("%s@%d%s: %s", v.Name, v.Cycle, loc, v.Detail)
+}
+
+// InvariantError aggregates every violation found by one sweep.
+type InvariantError struct {
+	Violations []InvariantViolation
+}
+
+func (e *InvariantError) Error() string {
+	const show = 3
+	parts := make([]string, 0, show)
+	for i, v := range e.Violations {
+		if i == show {
+			parts = append(parts, fmt.Sprintf("(+%d more)", len(e.Violations)-show))
+			break
+		}
+		parts = append(parts, v.String())
+	}
+	return fmt.Sprintf("sim: %d invariant violation(s): %s", len(e.Violations), strings.Join(parts, "; "))
+}
+
+// slotProducers collects, per warp slot, the scoreboard bits that
+// in-flight memory requests will eventually release. own bits belong to
+// requests whose Owner is the slot's current warp; stale bits belong to
+// requests issued by a previous occupant (the warp exited with a
+// reg-writing request still in flight and the slot was recycled — their
+// completion pokes the slot's scoreboard even though the register value
+// goes to the departed warp).
+type slotProducers struct {
+	own   uint64
+	stale uint64
+	count int // distinct in-flight requests charged to this slot
+}
+
+// checkInvariants sweeps every consistency check. atEnd additionally
+// requires the machine to be fully drained (no in-flight requests, pool
+// gets == puts). It returns nil or an *InvariantError listing every
+// violation found.
+func (e *Engine) checkInvariants(atEnd bool) error {
+	var vs []InvariantViolation
+	add := func(name string, sm, slot int, format string, args ...any) {
+		vs = append(vs, InvariantViolation{Name: name, Cycle: e.cycle, SM: sm, Slot: slot,
+			Detail: fmt.Sprintf(format, args...)})
+	}
+
+	// In-flight requests, grouped by (SM, slot). Every in-flight request
+	// must be attributable to a valid slot on a valid SM.
+	slots := e.opt.GPU.WarpsPerSM
+	prod := make([][]slotProducers, len(e.sms))
+	for i := range prod {
+		prod[i] = make([]slotProducers, slots)
+	}
+	e.sys.ForEachInFlightRequest(func(r *mem.Request) {
+		if r.SM < 0 || r.SM >= len(e.sms) || r.WarpSlot < 0 || r.WarpSlot >= slots {
+			add("mem.request-route", r.SM, r.WarpSlot, "in-flight %v request outside SM/slot range", r.Op)
+			return
+		}
+		p := &prod[r.SM][r.WarpSlot]
+		p.count++
+		if !r.WritesReg || len(r.Accesses) == 0 {
+			return
+		}
+		if r.Owner == e.sms[r.SM].warps[r.WarpSlot] {
+			p.own |= 1 << uint(r.Dst)
+		} else {
+			p.stale |= 1 << uint(r.Dst)
+		}
+	})
+
+	for i, m := range e.sms {
+		// Scoreboard bits the ALU writeback ring will release.
+		wbReg := make([]uint64, slots)
+		wbPred := make([]uint64, slots)
+		for _, ring := range m.wbRing {
+			for _, it := range ring {
+				if it.isPred {
+					if m.predPend[it.slot]&(1<<it.idx) == 0 {
+						add("scoreboard.wb-orphan", i, it.slot,
+							"writeback ring holds p%d but predicate scoreboard bit is clear", it.idx)
+					}
+					wbPred[it.slot] |= 1 << it.idx
+				} else {
+					if m.regPend[it.slot]&(1<<it.idx) == 0 {
+						add("scoreboard.wb-orphan", i, it.slot,
+							"writeback ring holds r%d but register scoreboard bit is clear", it.idx)
+					}
+					wbReg[it.slot] |= 1 << it.idx
+				}
+			}
+		}
+
+		var inFlight int
+		for slot := 0; slot < slots; slot++ {
+			p := prod[i][slot]
+			inFlight += p.count
+			if m.warps[slot] == nil {
+				// Empty slots may carry stale scoreboard bits (cleared when the
+				// stale producer completes) but never own/ALU producers.
+				if wbReg[slot] != 0 || wbPred[slot] != 0 || p.own != 0 {
+					add("scoreboard.empty-slot", i, slot,
+						"empty slot has live producers (wbReg=%#x wbPred=%#x own=%#x)",
+						wbReg[slot], wbPred[slot], p.own)
+				}
+				continue
+			}
+			// Every pending bit must have a producer that will clear it;
+			// every own producer must have its bit pending (a missing bit is
+			// tolerated only when a stale producer for the same register may
+			// have cleared it early).
+			if extra := m.regPend[slot] &^ (wbReg[slot] | p.own | p.stale); extra != 0 {
+				add("scoreboard.stuck-bit", i, slot,
+					"register bits %#x pending with no in-flight producer", extra)
+			}
+			if missing := (wbReg[slot] | p.own) &^ (m.regPend[slot] | p.stale); missing != 0 {
+				add("scoreboard.missing-bit", i, slot,
+					"register bits %#x have live producers but are not pending", missing)
+			}
+			if m.predPend[slot] != wbPred[slot] {
+				add("scoreboard.pred-mismatch", i, slot,
+					"predicate scoreboard %#x != writeback ring %#x", m.predPend[slot], wbPred[slot])
+			}
+			if d := len(m.warps[slot].Stack); d < 1 || d > maxStackDepth {
+				add("simt.stack-depth", i, slot, "reconvergence stack depth %d outside [1,%d]", d, maxStackDepth)
+			}
+		}
+
+		// issued == completed + in-flight, expressed through the request
+		// pool: every get that has not been put back is exactly one
+		// in-flight request, and the port's per-slot outstanding counters
+		// must agree.
+		if live := m.reqGets - m.reqPuts; live != int64(inFlight) {
+			add("pool.balance", i, -1,
+				"request pool has %d live requests (gets=%d puts=%d) but %d are in flight",
+				live, m.reqGets, m.reqPuts, inFlight)
+		}
+		var outstanding int
+		for slot := 0; slot < slots; slot++ {
+			outstanding += m.port.Outstanding(slot)
+		}
+		if outstanding != inFlight {
+			add("port.outstanding", i, -1,
+				"port counts %d outstanding but %d requests are in flight", outstanding, inFlight)
+		}
+		if lines := m.port.MSHRLines(); lines > e.opt.GPU.Mem.L1MSHRs {
+			add("mem.mshr-bound", i, -1, "%d MSHR lines exceed capacity %d", lines, e.opt.GPU.Mem.L1MSHRs)
+		}
+
+		// CTA/warp accounting: slots are either free or occupied, free
+		// slots are empty and unique, and residency matches live CTAs.
+		occupied := 0
+		for _, w := range m.warps {
+			if w != nil {
+				occupied++
+			}
+		}
+		if occupied+len(m.freeSlots) != slots {
+			add("cta.slot-accounting", i, -1, "%d occupied + %d free != %d slots",
+				occupied, len(m.freeSlots), slots)
+		}
+		seen := make(map[int]bool, len(m.freeSlots))
+		for _, s := range m.freeSlots {
+			if s < 0 || s >= slots || seen[s] {
+				add("cta.free-slot", i, s, "free-slot list entry %d out of range or duplicated", s)
+				continue
+			}
+			seen[s] = true
+			if m.warps[s] != nil {
+				add("cta.free-slot", i, s, "slot %d is on the free list but holds a warp", s)
+			}
+		}
+		liveCTAs := 0
+		for _, rec := range m.ctas {
+			if !rec.done {
+				liveCTAs++
+			}
+		}
+		if m.resident != liveCTAs {
+			add("cta.residency", i, -1, "resident=%d but %d CTAs are live", m.resident, liveCTAs)
+		}
+
+		if atEnd {
+			if m.reqGets != m.reqPuts {
+				add("pool.leak", i, -1, "run ended with gets=%d != puts=%d (%d requests leaked)",
+					m.reqGets, m.reqPuts, m.reqGets-m.reqPuts)
+			}
+			if inFlight != 0 {
+				add("mem.drain", i, -1, "run ended with %d requests still in flight", inFlight)
+			}
+		}
+	}
+
+	// The memory system's own internal audit (MSHR shape, segment pool
+	// hygiene, lock-queue bookkeeping).
+	for _, line := range e.sys.Audit() {
+		add("mem.audit", -1, -1, "%s", line)
+	}
+
+	// Barrier membership sanity: a warp marked AtBarrier must belong to a
+	// CTA that still has warps to arrive (Arrive releases the whole CTA
+	// when the last live warp arrives, so a lone straggler is a bug).
+	for i, m := range e.sms {
+		for slot, w := range m.warps {
+			if w != nil && w.AtBarrier && barrierComplete(w.CTA, m) {
+				add("cta.barrier", i, slot, "warp waits at a barrier every live CTA warp has reached")
+			}
+		}
+	}
+
+	if len(vs) == 0 {
+		return nil
+	}
+	return &InvariantError{Violations: vs}
+}
+
+// barrierComplete reports whether every live warp of cta currently
+// resident on m is parked at the barrier — a state CTA.Arrive should have
+// released immediately.
+func barrierComplete(cta *simt.CTA, m *smState) bool {
+	any := false
+	for _, w := range m.warps {
+		if w == nil || w.CTA != cta || w.Done {
+			continue
+		}
+		any = true
+		if !w.AtBarrier {
+			return false
+		}
+	}
+	return any
+}

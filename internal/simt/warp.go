@@ -127,6 +127,14 @@ func (w *Warp) NextInstr() *isa.Instr {
 	return w.Prog.At(w.PC())
 }
 
+// EvalAddr computes the effective address in.A + in.B of a memory
+// instruction for lane, without executing it. Hang diagnosis uses it to
+// name the lock word a stuck acquire is waiting on; address operands
+// never read %clock, so the clock is evaluated as zero.
+func (w *Warp) EvalAddr(in *isa.Instr, lane int) uint32 {
+	return w.operand(in.A, lane, 0) + w.operand(in.B, lane, 0)
+}
+
 // popReconverged pops stack entries whose PC reached their reconvergence
 // point, merging divergent paths, and retires empty entries.
 func (w *Warp) popReconverged() {

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Repo gate: formatting (with simplification), build, vet, full test suite
 # (including the golden-stats regression in internal/exp), the
-# parallel-runner determinism tests under the race detector, and the
-# warplint static analyzer over every registered kernel. Run from the repo
-# root:
+# parallel-runner determinism tests under the race detector, the warplint
+# static analyzer over every registered kernel, and an invariant-checked
+# simulation smoke pass (-check arms the runtime invariant checker and
+# hang diagnosis). Run from the repo root:
 #
 #   scripts/check.sh          # gate only
 #   scripts/check.sh -bench   # gate + regenerate BENCH_PR1.json
@@ -30,8 +31,12 @@ go run ./cmd/warplint -all
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (runner determinism) =="
+echo "== go test -race (runner determinism, fault injection, resume) =="
 go test -race ./internal/exp -run TestRunner
+
+echo "== invariant-checked smoke (warpsim -check) =="
+go run ./cmd/warpsim -kernel HT -sms 2 -check > /dev/null
+go run ./cmd/warpsim -kernel ATM -sms 2 -bows ddos -check -fault-seed 7 > /dev/null
 
 if [[ "${1:-}" == "-bench" ]]; then
     echo "== benchmarks -> BENCH_PR1.json =="

@@ -30,6 +30,7 @@ import (
 	"warpsched/internal/energy"
 	"warpsched/internal/isa"
 	"warpsched/internal/kernels"
+	"warpsched/internal/mem"
 	"warpsched/internal/sim"
 	"warpsched/internal/trace"
 )
@@ -59,7 +60,30 @@ type (
 	Launch = sim.Launch
 	// TraceRing records the most recent pipeline events (Options.Tracer).
 	TraceRing = trace.Ring
+	// FaultConfig configures deterministic, seeded memory-system fault
+	// injection (Options.Faults); see DefaultFaults.
+	FaultConfig = mem.FaultConfig
+	// HangError reports a hung simulation: a watchdog or early-abort
+	// failure carrying a classified HangReport. Returned (wrapped) by Run
+	// when a kernel deadlocks, livelocks or starves.
+	HangError = sim.HangError
+	// HangReport is the structured diagnosis attached to a HangError:
+	// classification, progress counters over the sampling window, and the
+	// per-warp stuck states.
+	HangReport = sim.HangReport
+	// InvariantError reports runtime invariant violations detected with
+	// Options.Check enabled.
+	InvariantError = sim.InvariantError
 )
+
+// DefaultHangWindow is the progress-sampling window (in cycles) used for
+// hang classification when Options.HangWindow is armed.
+const DefaultHangWindow = sim.DefaultHangWindow
+
+// DefaultFaults returns the standard fault-injection mix (rare latency
+// spikes, response reordering, atomic retry storms) driven by seed.
+// Assign to Options.Faults; scale intensity with FaultConfig.Scale.
+func DefaultFaults(seed uint64) FaultConfig { return mem.DefaultFaults(seed) }
 
 // NewTraceRing creates a pipeline-event recorder holding the last n
 // events; attach it via Options.Tracer.
