@@ -15,9 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"warpsched/internal/exp"
+	"warpsched/internal/report"
 )
 
 func main() {
@@ -32,6 +34,7 @@ func main() {
 		check     = flag.Bool("check", false, "enable runtime invariant checking and early hang aborts in every simulation")
 		resume    = flag.String("resume", "", "crash-tolerant run journal (created if missing); completed runs found in it are replayed instead of re-simulated")
 		retries   = flag.Int("retries", 0, "retry a run that panics up to N times before recording the failure")
+		reportDir = flag.String("report", "", "after the sweep, render the reproduction report (REPRODUCTION.md + SVG figures) from the collected manifest into this directory")
 	)
 	flag.Parse()
 
@@ -56,11 +59,14 @@ func main() {
 		cfg.Journal = j
 	}
 	var col *exp.Collector
-	if *statsJSON != "" {
-		// The config map deliberately omits -j: the manifest (and its
-		// config hash) is identical for every worker count.
+	if *statsJSON != "" || *reportDir != "" {
+		// The config map deliberately omits -j (the manifest, and its
+		// config hash, is identical for every worker count) and the
+		// experiment selection (records carry their experiment tag, so
+		// same-scale manifests from different -exp invocations share a
+		// config hash and can be joined by cmd/warpreport).
 		col = exp.NewCollector("experiments", map[string]any{
-			"exp": *name, "quick": *quick, "sms": *sms,
+			"quick": *quick, "sms": *sms,
 		})
 		cfg.Collect = col
 	}
@@ -81,6 +87,7 @@ func main() {
 	for _, e := range todo {
 		fmt.Printf("==== %s: %s ====\n", e.Name, e.Title)
 		t0 := time.Now()
+		cfg.Exp = e.Name
 		res, err := e.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.Name, err)
@@ -98,10 +105,25 @@ func main() {
 	if col != nil {
 		m := col.Manifest()
 		m.WallMS = float64(time.Since(start).Microseconds()) / 1e3
-		if err := m.WriteFile(*statsJSON); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+		if *statsJSON != "" {
+			if err := m.WriteFile(*statsJSON); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "experiments: wrote manifest (%d runs) to %s\n", len(m.Runs), *statsJSON)
 		}
-		fmt.Fprintf(os.Stderr, "experiments: wrote manifest (%d runs) to %s\n", len(m.Runs), *statsJSON)
+		if *reportDir != "" {
+			rep, err := report.Build(m)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			paths, err := rep.Write(filepath.Join(*reportDir, "REPRODUCTION.md"), filepath.Join(*reportDir, "figures"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "experiments: wrote report (%d files) under %s\n", len(paths), *reportDir)
+		}
 	}
 }

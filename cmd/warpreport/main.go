@@ -1,0 +1,74 @@
+// Command warpreport renders the reproduction report from run manifests.
+//
+// It is strictly offline: it consumes the -stats-json manifests written
+// by cmd/experiments (several may be joined, e.g. per-experiment shards
+// of the same scale) and derives REPRODUCTION.md plus the SVG figures.
+// Output is byte-identical for the same inputs on every run and
+// platform, which makes -check a plain byte comparison:
+//
+//	# regenerate the published report from the checked-in manifest
+//	go run ./cmd/warpreport -manifest internal/report/testdata/full.json \
+//	    -md REPRODUCTION.md -svg-dir docs/figures
+//
+//	# verify nothing drifted (CI docs gate); exits 1 and lists stale files
+//	go run ./cmd/warpreport -manifest internal/report/testdata/full.json \
+//	    -md REPRODUCTION.md -svg-dir docs/figures -check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"warpsched/internal/report"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return fmt.Sprint([]string(*m)) }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	var manifests multiFlag
+	flag.Var(&manifests, "manifest", "run manifest JSON (repeatable; manifests are joined)")
+	md := flag.String("md", "REPRODUCTION.md", "output Markdown document path")
+	svgDir := flag.String("svg-dir", "docs/figures", "output directory for SVG figures")
+	check := flag.Bool("check", false, "verify outputs match instead of writing (exit 1 on drift)")
+	flag.Parse()
+
+	if len(manifests) == 0 {
+		fmt.Fprintln(os.Stderr, "warpreport: at least one -manifest is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	set, err := report.Load(manifests...)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := report.Build(set.Manifest())
+	if err != nil {
+		fatal(err)
+	}
+	if *check {
+		if err := rep.Check(*md, *svgDir); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("warpreport: %s and %s match the manifest\n", *md, *svgDir)
+		return
+	}
+	paths, err := rep.Write(*md, *svgDir)
+	if err != nil {
+		fatal(err)
+	}
+	for _, p := range paths {
+		fmt.Printf("warpreport: wrote %s\n", p)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "warpreport: %v\n", err)
+	os.Exit(1)
+}

@@ -136,6 +136,34 @@ func FixedBOWS(limit int64) BOWS {
 	return b
 }
 
+// Desc renders the configuration as the stable human-readable descriptor
+// run manifests carry in their record keys: "off", "<mode>-adaptive" for
+// the Figure 5 controller, or "<mode>-d<limit>" for a fixed delay limit
+// (keeping the Figure 10 sweep's points distinguishable). internal/report
+// joins manifest records on it.
+func (b BOWS) Desc() string {
+	if b.Mode == BOWSOff {
+		return "off"
+	}
+	if b.Adaptive {
+		return string(b.Mode) + "-adaptive"
+	}
+	return fmt.Sprintf("%s-d%d", b.Mode, b.DelayLimit)
+}
+
+// Desc renders the detector parameters as the stable descriptor run
+// manifests carry, e.g. "XOR-m8k8-t4-l8" (+"-sh<epoch>" when time
+// sharing is enabled). It covers exactly the dimensions Table I varies;
+// internal/report joins the sensitivity table on it.
+func (d DDOS) Desc() string {
+	s := fmt.Sprintf("%s-m%dk%d-t%d-l%d", d.Hash, d.PathBits, d.ValueBits,
+		d.ConfidenceThreshold, d.HistoryLen)
+	if d.TimeShare {
+		s += fmt.Sprintf("-sh%d", d.TimeShareEpoch)
+	}
+	return s
+}
+
 // Memory holds the memory-hierarchy parameters.
 type Memory struct {
 	// L1: per-SM data cache.

@@ -23,24 +23,44 @@ type AblationResult struct {
 	Gm   []float64
 }
 
-var ablationColumns = []string{
-	"GTO", "deprioritize-only", "fixed-1000", "adaptive(DDOS)", "adaptive(static)",
+// AblationColumn is one arm of the component study: a display label and
+// the BOWS configuration it evaluates (on GTO, Fermi). internal/report
+// rebuilds the ablation table from manifest records through the same
+// list, joining on BOWS.Desc().
+type AblationColumn struct {
+	// Label is the column heading, e.g. "deprioritize-only".
+	Label string
+	// BOWS is the arm's scheduler-extension configuration.
+	BOWS config.BOWS
+}
+
+// AblationLayout returns the ablation arms in display order: baseline
+// GTO, deprioritization only (zero delay limit), a fixed 1000-cycle
+// minimum interval, the full adaptive system, and adaptive BOWS driven by
+// oracle static annotations instead of DDOS.
+func AblationLayout() []AblationColumn {
+	return []AblationColumn{
+		{"GTO", bowsOff()},
+		{"deprioritize-only", config.FixedBOWS(0)},
+		{"fixed-1000", config.FixedBOWS(1000)},
+		{"adaptive(DDOS)", config.DefaultBOWS()},
+		{"adaptive(static)", func() config.BOWS {
+			b := config.DefaultBOWS()
+			b.Mode = config.BOWSStatic
+			return b
+		}()},
+	}
 }
 
 // Ablation runs the component study on GTO.
 func Ablation(c Cfg) (*AblationResult, error) {
 	gpu := c.fermi()
-	r := &AblationResult{Columns: ablationColumns, Time: map[string][]float64{}}
-	configs := []config.BOWS{
-		bowsOff(),
-		config.FixedBOWS(0),
-		config.FixedBOWS(1000),
-		config.DefaultBOWS(),
-		func() config.BOWS {
-			b := config.DefaultBOWS()
-			b.Mode = config.BOWSStatic
-			return b
-		}(),
+	layout := AblationLayout()
+	r := &AblationResult{Time: map[string][]float64{}}
+	var configs []config.BOWS
+	for _, col := range layout {
+		r.Columns = append(r.Columns, col.Label)
+		configs = append(configs, col.BOWS)
 	}
 	suite := c.syncSuite()
 	var specs []runSpec
@@ -77,6 +97,7 @@ func Ablation(c Cfg) (*AblationResult, error) {
 	return r, nil
 }
 
+// String renders the ablation table in the harness's text format.
 func (r *AblationResult) String() string {
 	var sb strings.Builder
 	sb.WriteString("Ablation — BOWS component contributions (normalized execution time, GTO = 1.00)\n\n")

@@ -39,13 +39,16 @@ func (c *Collector) Manifest() *metrics.Manifest {
 	return c.m
 }
 
-// buildRecord converts one finished run into a manifest record.
-func buildRecord(sp *runSpec, o runOut, wallMS float64) metrics.RunRecord {
+// buildRecord converts one finished run into a manifest record tagged
+// with the submitting experiment (Cfg.Exp).
+func buildRecord(exp string, sp *runSpec, o runOut, wallMS float64) metrics.RunRecord {
 	r := metrics.RunRecord{
+		Exp:     exp,
 		Kernel:  sp.k.Name,
 		GPU:     sp.gpu.Name,
 		Sched:   string(sp.sched),
-		BOWS:    bowsDesc(sp.bows),
+		BOWS:    sp.bows.Desc(),
+		DDOS:    sp.ddos.Desc(),
 		Variant: variantHash(sp),
 		WallMS:  wallMS,
 	}
@@ -66,19 +69,24 @@ func buildRecord(sp *runSpec, o runOut, wallMS float64) metrics.RunRecord {
 		"backed_off_fraction": st.BackedOffFraction(),
 		"energy_total_pj":     energy.Compute(energy.ByConfigName(sp.gpu.Name), st).Total(),
 	}
+	// DDOS detection quality (Table I inputs). Counts only appear when the
+	// detector observed at least one backward branch, so records from
+	// branch-free kernels stay compact; the DPR means only exist when a
+	// branch of that class was actually confirmed.
+	det := res.Detection
+	if det.TrueSeen > 0 || det.FalseSeen > 0 {
+		r.Counters["ddos.true_sibs_seen"] = int64(det.TrueSeen)
+		r.Counters["ddos.true_sibs_detected"] = int64(det.TrueDetected)
+		r.Counters["ddos.false_sibs_seen"] = int64(det.FalseSeen)
+		r.Counters["ddos.false_sibs_detected"] = int64(det.FalseDetected)
+	}
+	if det.TrueDetected > 0 {
+		r.Derived["ddos_true_dpr"] = det.TrueDPR()
+	}
+	if det.FalseDetected > 0 {
+		r.Derived["ddos_false_dpr"] = det.FalseDPR()
+	}
 	return r
-}
-
-// bowsDesc renders the BOWS configuration for the record key.
-func bowsDesc(b config.BOWS) string {
-	if b.Mode == config.BOWSOff {
-		return "off"
-	}
-	s := string(b.Mode)
-	if b.Adaptive {
-		s += "-adaptive"
-	}
-	return s
 }
 
 // variantHash fingerprints everything that can distinguish two runs

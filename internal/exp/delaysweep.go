@@ -89,6 +89,7 @@ func DelaySweep(c Cfg) (*DelaySweepResult, error) {
 	return r, nil
 }
 
+// String renders the Figures 10-13 tables in the harness's text format.
 func (r *DelaySweepResult) String() string {
 	var sb strings.Builder
 

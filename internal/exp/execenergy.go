@@ -133,6 +133,7 @@ func (r *ExecEnergyResult) EnergySaving(base config.SchedulerKind) float64 {
 	return r.GmeanEnergy[bi] / r.GmeanEnergy[wi]
 }
 
+// String renders the Figure 9/15 tables in the harness's text format.
 func (r *ExecEnergyResult) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s — normalized execution time on %s (lower is better, LRR = 1.00)\n\n", r.Label, r.GPUName)

@@ -7,7 +7,6 @@ package exp
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 
@@ -15,6 +14,7 @@ import (
 	"warpsched/internal/kernels"
 	"warpsched/internal/mem"
 	"warpsched/internal/sim"
+	"warpsched/internal/stats"
 )
 
 // Cfg scales the harness.
@@ -37,6 +37,10 @@ type Cfg struct {
 	// Collect, when non-nil, receives one manifest record per completed
 	// simulation (see NewCollector). A Collector is safe under Jobs > 1.
 	Collect *Collector
+	// Exp tags collected records with the experiment that submitted them
+	// (the registry key, e.g. "fig9"); cmd/experiments sets it per
+	// experiment so internal/report can group a manifest's runs.
+	Exp string
 	// Tracer, when non-nil, supplies the tracer for the run at submission
 	// index i. Each concurrently running engine must get its own tracer
 	// instance — use trace.Buffers; sharing one Ring across engines is a
@@ -146,20 +150,9 @@ const expMaxCycles = 10_000_000
 
 func bowsOff() config.BOWS { return config.BOWS{Mode: config.BOWSOff} }
 
-// gmean returns the geometric mean of positive values.
-func gmean(vs []float64) float64 {
-	if len(vs) == 0 {
-		return 0
-	}
-	prod := 1.0
-	for _, v := range vs {
-		if v <= 0 {
-			return 0
-		}
-		prod *= v
-	}
-	return math.Pow(prod, 1/float64(len(vs)))
-}
+// gmean is shorthand for stats.Gmean, the geometric mean the paper's
+// normalized figures summarize with.
+func gmean(vs []float64) float64 { return stats.Gmean(vs) }
 
 // Experiment is a registry entry.
 type Experiment struct {

@@ -77,6 +77,7 @@ func Fig1(c Cfg) (*Fig1Result, error) {
 	return r, nil
 }
 
+// String renders the Figure 1 table in the harness's text format.
 func (r *Fig1Result) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Fig. 1 — fine-grained synchronization on GPUs (hashtable, %d insertions)\n\n", r.Items)

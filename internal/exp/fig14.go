@@ -63,6 +63,7 @@ func Fig14(c Cfg) (*Fig14Result, error) {
 	return r, nil
 }
 
+// String renders the Figure 14 table in the harness's text format.
 func (r *Fig14Result) String() string {
 	var sb strings.Builder
 	sb.WriteString("Fig. 14 — overheads due to detection errors on sync-free kernels\n")

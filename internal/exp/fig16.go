@@ -65,6 +65,7 @@ func Fig16(c Cfg) (*Fig16Result, error) {
 	return r, nil
 }
 
+// String renders the Figure 16 table in the harness's text format.
 func (r *Fig16Result) String() string {
 	var sb strings.Builder
 	sb.WriteString("Fig. 16 — sensitivity to contention (hashtable; fewer buckets = higher contention)\n\n")

@@ -48,6 +48,7 @@ func Fig2(c Cfg) (*Fig2Result, error) {
 	return r, nil
 }
 
+// String renders the Figure 2 table in the harness's text format.
 func (r *Fig2Result) String() string {
 	var sb strings.Builder
 	sb.WriteString("Fig. 2 — synchronization status distribution (bars: LRR, GTO, CAWA; totals normalized to LRR)\n\n")

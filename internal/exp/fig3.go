@@ -61,6 +61,7 @@ func Fig3(c Cfg) (*Fig3Result, error) {
 	return r, nil
 }
 
+// String renders the Figure 3 table in the harness's text format.
 func (r *Fig3Result) String() string {
 	var sb strings.Builder
 	sb.WriteString("Fig. 3 — software back-off delay on the hashtable (execution cycles; normalized to no-delay)\n\n")

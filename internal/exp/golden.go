@@ -9,8 +9,9 @@ import (
 // the sync suite under the paper's two strongest baselines (GTO, CAWA)
 // with and without BOWS on the Fermi machine. Every spec is built exactly
 // like the fig9 sweep (same c.fermi() machine, DefaultBOWS, DefaultDDOS),
-// so the committed golden counters are a strict subset of the manifest a
-// `cmd/experiments -exp all` run emits — drift there fails here too.
+// so the committed golden counters mirror the fig9 records of the
+// manifest a `cmd/experiments -exp all` run emits (differing only in the
+// per-record experiment tag) — simulation drift there fails here too.
 func goldenSpecs(c Cfg) []runSpec {
 	gpu := c.fermi()
 	var specs []runSpec
@@ -28,6 +29,7 @@ func goldenSpecs(c Cfg) []runSpec {
 func GoldenManifest(c Cfg) (*metrics.Manifest, error) {
 	col := NewCollector("golden", map[string]any{"quick": c.Quick, "sms": c.SMs})
 	c.Collect = col
+	c.Exp = "golden"
 	outs := c.runAll(goldenSpecs(c))
 	if err := firstErr(outs); err != nil {
 		return nil, err

@@ -149,6 +149,8 @@ func (j *Journal) Len() int {
 	return len(j.entries)
 }
 
+// Hits reports how many runs were satisfied from the journal instead of
+// being re-simulated.
 func (j *Journal) Hits() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()

@@ -187,7 +187,7 @@ func (c Cfg) collect(sp *runSpec, o *runOut, wallMS float64) {
 	if c.Collect == nil {
 		return
 	}
-	rec := buildRecord(sp, *o, wallMS)
+	rec := buildRecord(c.Exp, sp, *o, wallMS)
 	// A collection failure means two specs hashed to one manifest key
 	// with different counters — a determinism violation worth failing
 	// the sweep over, but never one that masks a simulation error.

@@ -26,12 +26,105 @@ type Table1Result struct {
 	Order    []string
 }
 
-type ddosKey struct {
-	hash      config.HashKind
-	width     int
-	threshold int
-	length    int
-	share     bool
+// Table1Spec is one point of the Table I sensitivity sweep: a row label
+// and the detector configuration it evaluates.
+type Table1Spec struct {
+	// Label is the row label, e.g. "XOR, m=k=8".
+	Label string
+	// DDOS is the full detector configuration of the point.
+	DDOS config.DDOS
+}
+
+// Table1Section is one block of Table I, varying a single detector
+// dimension around the base XOR m=k=8, t=4, l=8 configuration.
+type Table1Section struct {
+	// Name is the section heading, e.g. "hashing function (t=4, l=8)".
+	Name string
+	// Specs are the section's rows in display order.
+	Specs []Table1Spec
+}
+
+// Table1Layout returns the section layout of the Table I sensitivity
+// sweep. The same configuration may appear in several sections (the base
+// configuration appears in four); runs are deduplicated by DDOS.Desc(),
+// which is also how internal/report rebuilds the table from manifest
+// records, so layout and join key cannot drift apart.
+func Table1Layout() []Table1Section {
+	mk := func(f func(*config.DDOS)) config.DDOS {
+		d := config.DefaultDDOS()
+		f(&d)
+		return d
+	}
+	var sections []Table1Section
+
+	// Hashing function at t=4, l=8.
+	var specs []Table1Spec
+	for _, p := range []struct {
+		label string
+		hash  config.HashKind
+		width int
+	}{
+		{"XOR, m=k=4", config.HashXOR, 4},
+		{"XOR, m=k=8", config.HashXOR, 8},
+		{"MODULO, m=k=4", config.HashModulo, 4},
+		{"MODULO, m=k=8", config.HashModulo, 8},
+	} {
+		p := p
+		specs = append(specs, Table1Spec{p.label, mk(func(d *config.DDOS) {
+			d.Hash = p.hash
+			d.PathBits, d.ValueBits = p.width, p.width
+		})})
+	}
+	sections = append(sections, Table1Section{"hashing function (t=4, l=8)", specs})
+
+	// Hash width with XOR.
+	specs = nil
+	for _, w := range []int{2, 3, 4, 8} {
+		w := w
+		specs = append(specs, Table1Spec{fmt.Sprintf("m=k=%d", w), mk(func(d *config.DDOS) {
+			d.PathBits, d.ValueBits = w, w
+		})})
+	}
+	sections = append(sections, Table1Section{"hashed path/value width (XOR, t=4, l=8)", specs})
+
+	// Confidence threshold at m=k=4.
+	specs = nil
+	for _, t := range []int{2, 4, 8, 12} {
+		t := t
+		specs = append(specs, Table1Spec{fmt.Sprintf("t=%d", t), mk(func(d *config.DDOS) {
+			d.PathBits, d.ValueBits = 4, 4
+			d.ConfidenceThreshold = t
+		})})
+	}
+	sections = append(sections, Table1Section{"confidence threshold (XOR, m=k=4, l=8)", specs})
+
+	// History length at m=k=8.
+	specs = nil
+	for _, l := range []int{1, 2, 4, 8} {
+		l := l
+		specs = append(specs, Table1Spec{fmt.Sprintf("l=%d", l), mk(func(d *config.DDOS) {
+			d.HistoryLen = l
+		})})
+	}
+	sections = append(sections, Table1Section{"history registers length (XOR, m=k=8, t=4)", specs})
+
+	// Time sharing.
+	specs = nil
+	for _, share := range []bool{false, true} {
+		for _, w := range []int{4, 8} {
+			share, w := share, w
+			sh := 0
+			if share {
+				sh = 1
+			}
+			specs = append(specs, Table1Spec{fmt.Sprintf("sh=%d, m=k=%d", sh, w), mk(func(d *config.DDOS) {
+				d.PathBits, d.ValueBits = w, w
+				d.TimeShare = share
+			})})
+		}
+	}
+	sections = append(sections, Table1Section{"time sharing of history registers (XOR, t=4, l=8, epoch=1000)", specs})
+	return sections
 }
 
 // Table1 runs the sensitivity sweep over the sync and sync-free suites.
@@ -43,111 +136,35 @@ func Table1(c Cfg) (*Table1Result, error) {
 	c.Quick = true
 	gpu := c.fermi()
 	suite := append(c.syncSuite(), c.syncFreeSuite()...)
+	sections := Table1Layout()
 
-	// Assemble the section layout first; duplicate keys (the base config
-	// appears in several sections) are simulated once and the cached row
-	// is relabeled per section, exactly as the serial version did.
-	type req struct {
-		label string
-		key   ddosKey
-	}
-	type section struct {
-		name string
-		reqs []req
-	}
-	var sections []section
-	base := ddosKey{hash: config.HashXOR, width: 8, threshold: 4, length: 8}
-
-	// Hashing function at t=4, l=8.
-	var reqs []req
-	for _, cfg := range []struct {
-		label string
-		hash  config.HashKind
-		width int
-	}{
-		{"XOR, m=k=4", config.HashXOR, 4},
-		{"XOR, m=k=8", config.HashXOR, 8},
-		{"MODULO, m=k=4", config.HashModulo, 4},
-		{"MODULO, m=k=8", config.HashModulo, 8},
-	} {
-		key := base
-		key.hash, key.width = cfg.hash, cfg.width
-		reqs = append(reqs, req{cfg.label, key})
-	}
-	sections = append(sections, section{"hashing function (t=4, l=8)", reqs})
-
-	// Hash width with XOR.
-	reqs = nil
-	for _, w := range []int{2, 3, 4, 8} {
-		key := base
-		key.width = w
-		reqs = append(reqs, req{fmt.Sprintf("m=k=%d", w), key})
-	}
-	sections = append(sections, section{"hashed path/value width (XOR, t=4, l=8)", reqs})
-
-	// Confidence threshold at m=k=4.
-	reqs = nil
-	for _, t := range []int{2, 4, 8, 12} {
-		key := base
-		key.width, key.threshold = 4, t
-		reqs = append(reqs, req{fmt.Sprintf("t=%d", t), key})
-	}
-	sections = append(sections, section{"confidence threshold (XOR, m=k=4, l=8)", reqs})
-
-	// History length at m=k=8.
-	reqs = nil
-	for _, l := range []int{1, 2, 4, 8} {
-		key := base
-		key.length = l
-		reqs = append(reqs, req{fmt.Sprintf("l=%d", l), key})
-	}
-	sections = append(sections, section{"history registers length (XOR, m=k=8, t=4)", reqs})
-
-	// Time sharing.
-	reqs = nil
-	for _, share := range []bool{false, true} {
-		for _, w := range []int{4, 8} {
-			key := base
-			key.width, key.share = w, share
-			sh := 0
-			if share {
-				sh = 1
-			}
-			reqs = append(reqs, req{fmt.Sprintf("sh=%d, m=k=%d", sh, w), key})
-		}
-	}
-	sections = append(sections, section{"time sharing of history registers (XOR, t=4, l=8, epoch=1000)", reqs})
-
-	// Unique keys in first-appearance order; each expands to one run per
-	// suite kernel. This is the harness's largest matrix, so the dedup
-	// matters (20 requests collapse to 19 keys x 14 kernels).
-	var order []ddosKey
-	firstLabel := map[ddosKey]string{}
+	// Unique configurations in first-appearance order (keyed by
+	// descriptor); each expands to one run per suite kernel. Duplicate
+	// points (the base config appears in several sections) are simulated
+	// once and the cached row is relabeled per section. This is the
+	// harness's largest matrix, so the dedup matters (20 requests
+	// collapse to 19 configs x 14 kernels).
+	var order []config.DDOS
+	firstLabel := map[string]string{}
 	for _, sec := range sections {
-		for _, rq := range sec.reqs {
-			if _, ok := firstLabel[rq.key]; !ok {
-				firstLabel[rq.key] = rq.label
-				order = append(order, rq.key)
+		for _, sp := range sec.Specs {
+			if _, ok := firstLabel[sp.DDOS.Desc()]; !ok {
+				firstLabel[sp.DDOS.Desc()] = sp.Label
+				order = append(order, sp.DDOS)
 			}
 		}
 	}
 	var specs []runSpec
-	for _, key := range order {
-		d := config.DefaultDDOS()
-		d.Hash = key.hash
-		d.PathBits, d.ValueBits = key.width, key.width
-		d.ConfidenceThreshold = key.threshold
-		d.HistoryLen = key.length
-		d.TimeShare = key.share
+	for _, d := range order {
 		for _, k := range suite {
 			specs = append(specs, runSpec{gpu, config.GTO, bowsOff(), d, k})
 		}
 	}
 	outs := c.runAll(specs)
 
-	cache := map[ddosKey]Table1Row{}
-	for i, key := range order {
-		label := firstLabel[key]
+	cache := map[string]Table1Row{}
+	for i, d := range order {
+		label := firstLabel[d.Desc()]
 		var tsdrs, fsdrs, tdprs, fdprs []float64
 		for j, k := range suite {
 			o := outs[i*len(suite)+j]
@@ -173,20 +190,20 @@ func Table1(c Cfg) (*Table1Result, error) {
 			TSDR: mean(tsdrs), TrueDPR: mean(tdprs),
 			FSDR: mean(fsdrs), FalseDPR: mean(fdprs),
 		}
-		cache[key] = row
+		cache[d.Desc()] = row
 		c.note("table1 %s: TSDR=%.3f FSDR=%.3f", label, row.TSDR, row.FSDR)
 	}
 
 	res := &Table1Result{Sections: map[string][]Table1Row{}}
 	for _, sec := range sections {
 		var rows []Table1Row
-		for _, rq := range sec.reqs {
-			row := cache[rq.key]
-			row.Label = rq.label
+		for _, sp := range sec.Specs {
+			row := cache[sp.DDOS.Desc()]
+			row.Label = sp.Label
 			rows = append(rows, row)
 		}
-		res.Order = append(res.Order, sec.name)
-		res.Sections[sec.name] = rows
+		res.Order = append(res.Order, sec.Name)
+		res.Sections[sec.Name] = rows
 	}
 	return res, nil
 }
@@ -202,6 +219,7 @@ func mean(vs []float64) float64 {
 	return s / float64(len(vs))
 }
 
+// String renders Table I in the harness's text format.
 func (r *Table1Result) String() string {
 	var sb strings.Builder
 	sb.WriteString("Table I — DDOS sensitivity to design parameters (averaged over the benchmark suite)\n\n")

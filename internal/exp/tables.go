@@ -25,6 +25,7 @@ func Table2(Cfg) (*Table2Result, error) {
 	}, nil
 }
 
+// String renders Table II in the harness's text format.
 func (r *Table2Result) String() string {
 	var sb strings.Builder
 	sb.WriteString("Table II — configurations\n\n")
@@ -83,6 +84,7 @@ func Table3(Cfg) (*Table3Result, error) {
 	return r, nil
 }
 
+// String renders Table III in the harness's text format.
 func (r *Table3Result) String() string {
 	var sb strings.Builder
 	sb.WriteString("Table III — DDOS and BOWS implementation costs per SM (GTX480, 48 warps)\n\n")

@@ -9,6 +9,7 @@ package metrics
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -19,20 +20,37 @@ import (
 )
 
 // ManifestSchema is the current manifest schema version; bump on any
-// incompatible change to the JSON layout.
-const ManifestSchema = 1
+// incompatible change to the JSON layout. Schema 2 added the per-run
+// experiment tag and the human-readable BOWS/DDOS parameter descriptors
+// that internal/report joins on, plus the DDOS detection-quality
+// counters.
+const ManifestSchema = 2
+
+// ErrSchemaMismatch is wrapped by ReadFile when a manifest on disk was
+// written under a different schema version than this build understands.
+// Callers that join several manifests (internal/report) test for it with
+// errors.Is to distinguish "regenerate this file" from I/O failures.
+var ErrSchemaMismatch = errors.New("manifest schema mismatch")
 
 // RunRecord is one simulation's identity and counter dump.
 type RunRecord struct {
-	// Kernel, GPU, Sched and BOWS identify the run for humans; Variant is
-	// a stable hash over the full configuration (machine, scheduler, BOWS
-	// and DDOS parameters, launch geometry and parameters) that keeps runs
-	// distinct when the human-readable fields coincide (e.g. the fig16
-	// bucket sweep reuses kernel name "HT").
-	Kernel  string `json:"kernel"`
-	GPU     string `json:"gpu"`
-	Sched   string `json:"sched"`
-	BOWS    string `json:"bows"`
+	// Exp names the experiment that submitted the run (registry key,
+	// e.g. "fig9"); internal/report groups a manifest's records by it.
+	// Empty in manifests from tools without an experiment registry
+	// (cmd/warpsim).
+	Exp string `json:"exp,omitempty"`
+	// Kernel, GPU, Sched, BOWS and DDOS identify the run for humans;
+	// Variant is a stable hash over the full configuration (machine,
+	// scheduler, BOWS and DDOS parameters, launch geometry and
+	// parameters) that keeps runs distinct when the human-readable fields
+	// coincide (e.g. the fig16 bucket sweep reuses kernel name "HT").
+	Kernel string `json:"kernel"`
+	GPU    string `json:"gpu"`
+	Sched  string `json:"sched"`
+	BOWS   string `json:"bows"`
+	// DDOS is the detector parameter descriptor (e.g. "XOR-m8k8-t4-l8"),
+	// the join key for the Table I sensitivity report.
+	DDOS    string `json:"ddos,omitempty"`
 	Variant string `json:"variant,omitempty"`
 	// Cycles is the headline result (stats.Sim.Cycles).
 	Cycles int64 `json:"cycles"`
@@ -48,7 +66,7 @@ type RunRecord struct {
 
 // Key returns the record's identity within a manifest.
 func (r *RunRecord) Key() string {
-	return strings.Join([]string{r.Kernel, r.GPU, r.Sched, r.BOWS, r.Variant}, "|")
+	return strings.Join([]string{r.Exp, r.Kernel, r.GPU, r.Sched, r.BOWS, r.DDOS, r.Variant}, "|")
 }
 
 // Manifest is one tool invocation's machine-readable output.
@@ -130,7 +148,8 @@ func ReadFile(path string) (*Manifest, error) {
 		return nil, fmt.Errorf("metrics: parse manifest %s: %w", path, err)
 	}
 	if m.Schema != ManifestSchema {
-		return nil, fmt.Errorf("metrics: manifest %s has schema %d, want %d", path, m.Schema, ManifestSchema)
+		return nil, fmt.Errorf("metrics: manifest %s has schema %d, want %d: %w",
+			path, m.Schema, ManifestSchema, ErrSchemaMismatch)
 	}
 	return &m, nil
 }

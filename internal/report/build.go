@@ -1,0 +1,46 @@
+package report
+
+import (
+	"warpsched/internal/metrics"
+)
+
+// Report is a fully derived reproduction report, ready to render. A
+// section field is nil when the manifests contain no records for its
+// experiment, and the document simply omits it.
+type Report struct {
+	set *Set
+	// Fig9 and Fig15 are the Fermi and Pascal performance/energy sweeps.
+	Fig9, Fig15 *ExecEnergySection
+	// Delay is the Figures 10-13 delay-limit sweep.
+	Delay *DelaySection
+	// Fig14 is the detection-error overhead study.
+	Fig14 *Fig14Section
+	// Table1 is the DDOS sensitivity table.
+	Table1 *Table1Section
+	// Ablation is the BOWS component study.
+	Ablation *AblationSection
+}
+
+// Build joins the manifests and derives every report section present in
+// them (sections whose experiment has no records are omitted; incomplete
+// sweeps inside a present section are a *MissingRunError).
+func Build(ms ...*metrics.Manifest) (*Report, error) {
+	s, err := Join(ms...)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{set: s}
+	if err := r.deriveAll(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Set exposes the joined record set the report was derived from.
+func (r *Report) Set() *Set { return r.set }
+
+// Write renders the report: the Markdown document at mdPath and the SVG
+// figures under svgDir. It returns the paths written.
+func (r *Report) Write(mdPath, svgDir string) ([]string, error) {
+	return r.write(mdPath, svgDir)
+}

@@ -6,7 +6,10 @@
 // raw event counts the energy model weighs (Fig. 9b, 15b).
 package stats
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Sim aggregates statistics for one simulation (summed over SMs).
 type Sim struct {
@@ -186,4 +189,94 @@ func max64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// Gmean returns the geometric mean of vs, or 0 if vs is empty or any
+// value is non-positive. The harness and report use it wherever the paper
+// reports a mean over normalized ratios.
+func Gmean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		prod *= v
+	}
+	return math.Pow(prod, 1/float64(len(vs)))
+}
+
+// Hmean returns the harmonic mean of vs, or 0 if vs is empty or any
+// value is non-positive. Speedup summaries in internal/report use it
+// (the conservative mean for rates: dominated by the slowest benchmark).
+func Hmean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var inv float64
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		inv += 1 / v
+	}
+	return float64(len(vs)) / inv
+}
+
+// FromCounters reconstructs a Sim from a run manifest's machine-total
+// counter map (internal/exp's aggregated names, e.g. "exec.warp_instrs")
+// plus the record's headline cycle count. It is the inverse of the
+// engine's metric registration as seen through manifest aggregation, and
+// lets offline consumers (internal/report) reuse every derived-metric
+// method — SIMDEfficiency, SyncInstrFraction, energy.Compute — without a
+// live simulation. Names absent from the map leave their field zero; the
+// golden-manifest round-trip test in internal/exp pins the coupling.
+func FromCounters(cycles int64, c map[string]int64) *Sim {
+	s := &Sim{Cycles: cycles}
+	for name, dst := range counterFields(s) {
+		if v, ok := c[name]; ok {
+			*dst = v
+		}
+	}
+	return s
+}
+
+// counterFields maps the manifest's aggregated counter names onto the
+// fields of s. Kept next to FromCounters so adding a Sim field prompts
+// adding its name here.
+func counterFields(s *Sim) map[string]*int64 {
+	return map[string]*int64{
+		"exec.warp_instrs":          &s.WarpInstrs,
+		"exec.thread_instrs":        &s.ThreadInstrs,
+		"exec.sync_thread_instrs":   &s.SyncThreadInstrs,
+		"exec.sib_instrs":           &s.SIBInstrs,
+		"exec.active_lane_sum":      &s.ActiveLaneSum,
+		"sched.issue_cycles":        &s.IssueCycles,
+		"sched.idle_cycles":         &s.IdleCycles,
+		"sched.stall_warp_cycles":   &s.StallTotal,
+		"sched.backed_off_sum":      &s.BackedOffSum,
+		"sched.resident_sum":        &s.ResidentSum,
+		"sched.sample_cycles":       &s.SampleCycles,
+		"sched.backoff_blocks":      &s.BackoffBlocks,
+		"mem.transactions":          &s.Mem.Transactions,
+		"mem.sync_transactions":     &s.Mem.SyncTransactions,
+		"mem.l1_accesses":           &s.Mem.L1Accesses,
+		"mem.l1_hits":               &s.Mem.L1Hits,
+		"mem.l2_accesses":           &s.Mem.L2Accesses,
+		"mem.l2_hits":               &s.Mem.L2Hits,
+		"mem.dram_accesses":         &s.Mem.DRAMAccesses,
+		"mem.atomic_ops":            &s.Mem.AtomicOps,
+		"mem.fence_ops":             &s.Mem.FenceOps,
+		"mem.mshr_stalls":           &s.Mem.MSHRStalls,
+		"mem.mshr_merges":           &s.Mem.MSHRMerges,
+		"mem.atom_retries":          &s.Mem.AtomRetries,
+		"sync.lock_success":         &s.Sync.LockSuccess,
+		"sync.lock_fail_inter_warp": &s.Sync.InterWarpFail,
+		"sync.lock_fail_intra_warp": &s.Sync.IntraWarpFail,
+		"sync.wait_exit_success":    &s.Sync.WaitExitSuccess,
+		"sync.wait_exit_fail":       &s.Sync.WaitExitFail,
+		"sync.lock_release":         &s.Sync.LockRelease,
+	}
 }

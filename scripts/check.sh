@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# Repo gate: formatting (with simplification), build, vet, full test suite
-# (including the golden-stats regression in internal/exp), the
+# Repo gate: formatting (with simplification), build, vet, godoc coverage
+# over the API packages, the docs-drift check (REPRODUCTION.md and the SVG
+# figures must match what cmd/warpreport regenerates from the checked-in
+# manifest), full test suite (including the golden-stats regression in
+# internal/exp and the golden rendering tests in internal/report), the
 # parallel-runner determinism tests under the race detector, the warplint
 # static analyzer over every registered kernel, and an invariant-checked
 # simulation smoke pass (-check arms the runtime invariant checker and
@@ -27,6 +30,13 @@ go vet ./...
 
 echo "== warplint =="
 go run ./cmd/warplint -all
+
+echo "== doccheck (godoc coverage) =="
+go run ./cmd/doccheck ./internal/report ./internal/exp ./internal/metrics .
+
+echo "== report drift (REPRODUCTION.md + docs/figures) =="
+go run ./cmd/warpreport -manifest internal/report/testdata/full.json \
+    -md REPRODUCTION.md -svg-dir docs/figures -check
 
 echo "== go test =="
 go test ./...
