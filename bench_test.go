@@ -88,6 +88,34 @@ func BenchmarkSimulator(b *testing.B) {
 	for _, k := range append(kernels.QuickSyncSuite(), kernels.QuickSyncFreeSuite()...) {
 		quick[k.Name] = k
 	}
+	run := func(b *testing.B, name string, bows, noff bool, sms, shards int) {
+		k := quick[name]
+		if k == nil {
+			b.Fatalf("kernel %s not in quick suite", name)
+		}
+		opt := DefaultOptions()
+		opt.GPU = GTX480().Scaled(sms)
+		if bows {
+			opt.BOWS = DefaultBOWS()
+		}
+		opt.NoFastForward = noff
+		opt.Shards = shards
+		var simCycles int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := Run(opt, k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			simCycles += res.Stats.Cycles
+		}
+		b.ReportMetric(float64(simCycles)/float64(b.N), "simcycles/op")
+		b.ReportMetric(float64(simCycles)/b.Elapsed().Seconds(), "simcycles/s")
+	}
+	// The historical labels (kernel, ±BOWS, 2 SMs, serial, fast-forward on)
+	// keep their exact names so scripts/bench_regress.sh lines them up
+	// against older BENCH_*.json baselines.
 	for _, name := range []string{"HT", "ATM", "ST", "TSP", "NW1", "VECADD"} {
 		name := name
 		for _, bows := range []bool{false, true} {
@@ -95,30 +123,31 @@ func BenchmarkSimulator(b *testing.B) {
 			if bows {
 				label += "+BOWS"
 			}
-			b.Run(label, func(b *testing.B) {
-				k := quick[name]
-				if k == nil {
-					b.Fatalf("kernel %s not in quick suite", name)
-				}
-				opt := DefaultOptions()
-				opt.GPU = GTX480().Scaled(2)
-				if bows {
-					opt.BOWS = DefaultBOWS()
-				}
-				var simCycles int64
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					res, err := Run(opt, k)
-					if err != nil {
-						b.Fatal(err)
-					}
-					simCycles += res.Stats.Cycles
-				}
-				b.ReportMetric(float64(simCycles)/float64(b.N), "simcycles/op")
-				b.ReportMetric(float64(simCycles)/b.Elapsed().Seconds(), "simcycles/s")
-			})
+			b.Run(label, func(b *testing.B) { run(b, name, bows, false, 2, 1) })
 		}
+	}
+	// Clock and sharding variants on the spin kernels: +noff disables the
+	// event-driven fast-forward (per-cycle clock — the gap to the plain
+	// label is the fast-forward speedup on identical simulated work), and
+	// the sm8 pair runs an 8-SM machine serially vs. on four shard workers
+	// (the gap is the sharding speedup). Results are cycle-identical
+	// across all variants of the same kernel+machine; only wall time moves.
+	for _, v := range []struct {
+		label, kernel string
+		noff          bool
+		sms, shards   int
+	}{
+		{"HT+BOWS+noff", "HT", true, 2, 1},
+		{"ATM+BOWS+noff", "ATM", true, 2, 1},
+		{"ST+BOWS+noff", "ST", true, 2, 1},
+		{"TSP+BOWS+noff", "TSP", true, 2, 1},
+		{"HT+BOWS+sm8", "HT", false, 8, 1},
+		{"HT+BOWS+sm8shards4", "HT", false, 8, 4},
+		{"TSP+BOWS+sm8", "TSP", false, 8, 1},
+		{"TSP+BOWS+sm8shards4", "TSP", false, 8, 4},
+	} {
+		v := v
+		b.Run(v.label, func(b *testing.B) { run(b, v.kernel, true, v.noff, v.sms, v.shards) })
 	}
 }
 

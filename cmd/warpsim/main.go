@@ -37,6 +37,8 @@ func main() {
 		check     = flag.Bool("check", false, "enable runtime invariant checking and early hang aborts (diagnoses deadlock/livelock/starvation)")
 		faultSeed = flag.Uint64("fault-seed", 0, "inject deterministic memory faults (latency spikes, reordering, atomic retry storms) with this seed; 0 = off")
 		faultRate = flag.Float64("fault-rate", 1.0, "scale fault-injection probabilities by this factor (with -fault-seed)")
+		shards    = flag.Int("shards", 1, "tick SMs on this many worker goroutines (results are cycle-identical for every value)")
+		noFF      = flag.Bool("no-ff", false, "disable event-driven fast-forward and tick every cycle (results are cycle-identical either way)")
 	)
 	flag.Parse()
 
@@ -95,6 +97,8 @@ func main() {
 		f := warpsched.DefaultFaults(*faultSeed).Scale(*faultRate)
 		opt.Faults = &f
 	}
+	opt.Shards = *shards
+	opt.NoFastForward = *noFF
 
 	if *listing {
 		fmt.Println(k.Launch.Prog.Listing())
@@ -154,6 +158,11 @@ func main() {
 	fmt.Printf("machine          %s, %s scheduler, BOWS=%s\n", opt.GPU.Name, opt.Sched, opt.BOWS.Mode)
 	fmt.Printf("cycles           %d (%.3f ms at %d MHz)\n", s.Cycles,
 		float64(s.Cycles)/(float64(opt.GPU.CoreClockMHz)*1000), opt.GPU.CoreClockMHz)
+	if res.FFJumps > 0 || res.FFSkippedSMTicks > 0 {
+		fmt.Printf("clock            %d event jumps covering %d cycles (%.1f%% of simulated time), %d dormant SM-ticks skipped\n",
+			res.FFJumps, res.FFSkippedCycles, 100*float64(res.FFSkippedCycles)/float64(s.Cycles),
+			res.FFSkippedSMTicks)
+	}
 	fmt.Printf("warp instrs      %d  (thread instrs %d, %.1f%% sync overhead)\n",
 		s.WarpInstrs, s.ThreadInstrs, 100*s.SyncInstrFraction())
 	fmt.Printf("SIMD efficiency  %.1f%%\n", 100*s.SIMDEfficiency())

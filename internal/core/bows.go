@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"warpsched/internal/config"
 	"warpsched/internal/isa"
 	"warpsched/internal/metrics"
@@ -224,6 +226,21 @@ func (b *BOWS) Tick(cycle int64) {
 	}
 }
 
+// NextWindowBoundary returns the next cycle at which Tick's adaptive
+// delay-limit controller can fire, for the engine's event-driven clock:
+// math.MaxInt64 when Tick is currently a pure no-op (fixed limit, or the
+// window has not yet accumulated minWindowInstrs — issue events, not the
+// passage of time, unblock that case), otherwise the end of the window in
+// progress. When the returned boundary is in the past the controller is
+// instead gated on instructions, which cannot arrive while the whole
+// machine is stalled — the engine treats such a value as "do not skip".
+func (b *BOWS) NextWindowBoundary() int64 {
+	if !b.cfg.Adaptive || b.totInstr < minWindowInstrs {
+		return math.MaxInt64
+	}
+	return b.windowStart + b.cfg.WindowCycles
+}
+
 // Wrapped is the per-scheduler-unit BOWS arbitration of Figure 8: the
 // base policy chooses among ready, non-backed-off warps; only when none
 // exists may a ready backed-off warp whose pending delay has expired
@@ -311,6 +328,32 @@ func (w *Wrapped) OnSIB(slot int) {
 
 // QueueLen returns the backed-off queue occupancy (for tests).
 func (w *Wrapped) QueueLen() int { return len(w.queue) }
+
+// BackoffStall supports the engine's event-driven clock. It reports, for
+// the current all-stalled machine state, the earliest back-off expiry
+// among this unit's ready backed-off warps (math.MaxInt64 when none is
+// ready) and how many ready backed-off warps a failing Pick walks past.
+// While every warp is stalled, each skipped cycle's Pick would scan the
+// whole queue and count one blocked pick per ready warp (none is eligible,
+// or the machine would not be stalled), so the engine bulk-credits
+// readyBlocked × skipped cycles through CreditBlockedPicks.
+func (w *Wrapped) BackoffStall(ready func(int) bool) (nextWake int64, readyBlocked int64) {
+	nextWake = math.MaxInt64
+	for _, s := range w.queue {
+		if !ready(s) {
+			continue
+		}
+		readyBlocked++
+		if pu := w.bows.pendingUntil[s]; pu < nextWake {
+			nextWake = pu
+		}
+	}
+	return nextWake, readyBlocked
+}
+
+// CreditBlockedPicks bulk-credits blocked pick attempts for cycles the
+// engine's event-driven clock skipped (see BackoffStall).
+func (w *Wrapped) CreditBlockedPicks(n int64) { w.blockedPicks += n }
 
 // BlockedPicks returns issue attempts rejected by an unexpired back-off
 // delay.

@@ -21,6 +21,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"warpsched/internal/config"
 	"warpsched/internal/metrics"
@@ -215,6 +216,17 @@ func (d *DDOS) Tick(cycle int64) {
 		d.owner = (d.owner + 1) % d.numSlots
 		d.hists[0].reset(d.cfg.HistoryLen)
 	}
+}
+
+// NextEpochBoundary returns the next cycle at which Tick rotates the
+// time-shared history ownership, or math.MaxInt64 when time-sharing is
+// off (Tick is then a no-op and the engine's event-driven clock may skip
+// past it freely).
+func (d *DDOS) NextEpochBoundary() int64 {
+	if !d.cfg.TimeShare {
+		return math.MaxInt64
+	}
+	return d.epochStart + d.cfg.TimeShareEpoch
 }
 
 // OnSetp records a setp execution: pc is the instruction address, lane

@@ -67,6 +67,16 @@ type Cfg struct {
 	// failures — watchdog aborts, verification mismatches, invariant
 	// violations — are never retried.
 	Retries int
+	// Shards runs each simulation's SM phase on that many worker
+	// goroutines (cmd/experiments -shards; see sim.Options.Shards).
+	// Results are cycle-identical for every value, so — like Jobs — it is
+	// deliberately excluded from collected manifests' config hashes.
+	Shards int
+	// NoFastForward disables the event-driven clock and ticks every cycle
+	// (cmd/experiments -no-ff; see sim.Options.NoFastForward). Results
+	// are cycle-identical either way; the flag exists for A/B timing and
+	// for auditing the fast-forward path itself.
+	NoFastForward bool
 }
 
 func (c Cfg) note(format string, args ...any) {
@@ -125,7 +135,8 @@ func (c Cfg) run(gpu config.GPU, kind config.SchedulerKind, bows config.BOWS,
 	if gpu.MaxCycles > expMaxCycles {
 		gpu.MaxCycles = expMaxCycles
 	}
-	opt := sim.Options{GPU: gpu, Sched: kind, BOWS: bows, DDOS: ddos, Tracer: tr, Faults: c.Faults}
+	opt := sim.Options{GPU: gpu, Sched: kind, BOWS: bows, DDOS: ddos, Tracer: tr, Faults: c.Faults,
+		Shards: c.Shards, NoFastForward: c.NoFastForward}
 	if c.Check {
 		opt.Check = true
 		opt.HangWindow = sim.DefaultHangWindow

@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"warpsched/internal/metrics"
+)
+
+// TestGoldenShardedFastForward re-runs the golden sweep with sharded SM
+// execution and diffs it against the same committed snapshot as the
+// serial gate: sharding (like fast-forward, which is on by default here
+// and in TestGoldenQuickStats) must not move a single golden-compared
+// number.
+func TestGoldenShardedFastForward(t *testing.T) {
+	got, err := GoldenManifest(Cfg{Quick: true, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := metrics.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden snapshot (regenerate with -update): %v", err)
+	}
+	diffs := metrics.Diff(got, want, metrics.DiffOptions{FloatTol: 1e-9, RequireSameRuns: true})
+	for _, d := range diffs {
+		t.Error(d)
+	}
+	if len(diffs) > 0 {
+		t.Errorf("%d difference(s): sharded execution diverged from the serial golden snapshot", len(diffs))
+	}
+}
+
+// manifestBytes serializes a manifest with every wall-time field zeroed —
+// the only fields that legitimately vary between two runs of the same
+// sweep (the manifest carries no timestamps by design).
+func manifestBytes(t *testing.T, m *metrics.Manifest) []byte {
+	t.Helper()
+	m.Sort()
+	m.WallMS = 0
+	for i := range m.Runs {
+		m.Runs[i].WallMS = 0
+	}
+	data, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestManifestByteIdenticalAcrossShards is the strongest determinism
+// claim the harness can make: modulo wall times, the serialized manifest
+// of the quick golden sweep is byte-for-byte identical across shard
+// counts and both clock implementations — config hash included, because
+// neither knob participates in variant hashing.
+func TestManifestByteIdenticalAcrossShards(t *testing.T) {
+	base, err := GoldenManifest(Cfg{Quick: true, NoFastForward: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := manifestBytes(t, base)
+	for _, c := range []Cfg{
+		{Quick: true},
+		{Quick: true, Shards: 2},
+		{Quick: true, Shards: 8},
+		{Quick: true, Shards: 8, NoFastForward: true},
+	} {
+		label := fmt.Sprintf("shards=%d noff=%v", c.Shards, c.NoFastForward)
+		m, err := GoldenManifest(c)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if got := manifestBytes(t, m); !bytes.Equal(want, got) {
+			t.Errorf("%s: manifest bytes diverged from the per-cycle serial sweep", label)
+		}
+	}
+}

@@ -153,10 +153,10 @@ func (s *System) Audit() []string {
 				out = append(out, fmt.Sprintf("sm%d/w%d: negative outstanding count %d", p.sm, slot, n))
 			}
 		}
-	}
-	for i, seg := range s.segFree {
-		if seg != nil && seg.req != nil {
-			out = append(out, fmt.Sprintf("segment pool entry %d still references a request", i))
+		for i, seg := range p.segFree {
+			if seg != nil && seg.req != nil {
+				out = append(out, fmt.Sprintf("sm%d: segment pool entry %d still references a request", p.sm, i))
+			}
 		}
 	}
 	// Each parked lane is counted exactly once by its segment.

@@ -13,6 +13,8 @@
 package mem
 
 import (
+	"math"
+
 	"warpsched/internal/config"
 	"warpsched/internal/isa"
 	"warpsched/internal/metrics"
@@ -169,10 +171,6 @@ type System struct {
 	seq       int64
 	cycle     int64
 
-	// segFree pools retired segments (and their lane-index backing
-	// arrays): the steady-state simulated cycle allocates nothing.
-	segFree []*segment
-
 	// atomBusy serializes atomics per line at the L2 atomic unit.
 	atomBusy map[uint32]int64
 	// arbLFSR drives the rotating L2 service arbitration (see Tick).
@@ -182,6 +180,16 @@ type System struct {
 	// occupies the bank's atomic ALU), so spin-loop CAS spam steals
 	// bandwidth from all other traffic — the paper's §II observation.
 	l2Tokens int64
+	// l2StuckUntil caches the result of a service scan that NACKed every
+	// queued segment: each was an atomic whose line stays busy until at
+	// least this cycle (exclusive). Until then — provided nothing new is
+	// enqueued (pushL2 clears it) — every scan is byte-for-byte the same
+	// retry storm, so Tick replays the recorded per-SM retry counts in
+	// l2StuckRetries instead of re-walking the queue. Lock-retry storms
+	// (dozens of CASes parked on one line) otherwise make the scan O(queue)
+	// per cycle; this makes those cycles O(SMs) with identical statistics.
+	l2StuckUntil   int64
+	l2StuckRetries []int64
 
 	// lockOwner maps a lock word address to the global thread id of the
 	// current holder (annotated acquires/releases only).
@@ -226,6 +234,12 @@ type Port struct {
 	outstanding []int
 	// segScratch is Enqueue's coalescing scratch (reused per call).
 	segScratch []*segment
+	// segFree pools retired segments (and their lane-index backing
+	// arrays): the steady-state simulated cycle allocates nothing. The
+	// pool is per-port rather than system-wide so Enqueue — which runs in
+	// the engine's (possibly sharded) SM phase — touches only this SM's
+	// state; finish returns segments here from the serial memory phase.
+	segFree []*segment
 
 	stats *stats.Mem
 	// sync receives lock-acquire outcome classifications (Fig. 2); set
@@ -323,13 +337,13 @@ func (s *System) dispatch(e event) {
 	}
 }
 
-// newSegment takes a segment from the pool (or allocates one) and
+// newSegment takes a segment from the port's pool (or allocates one) and
 // initializes it for the request.
-func (s *System) newSegment(r *Request, line uint32) *segment {
-	if n := len(s.segFree); n > 0 {
-		seg := s.segFree[n-1]
-		s.segFree[n-1] = nil
-		s.segFree = s.segFree[:n-1]
+func (p *Port) newSegment(r *Request, line uint32) *segment {
+	if n := len(p.segFree); n > 0 {
+		seg := p.segFree[n-1]
+		p.segFree[n-1] = nil
+		p.segFree = p.segFree[:n-1]
 		seg.req, seg.line, seg.lanes, seg.parked = r, line, seg.lanes[:0], 0
 		return seg
 	}
@@ -380,6 +394,12 @@ func (p *Port) CanAccept(nSegments int) bool {
 // Outstanding returns in-flight memory instructions for a warp slot.
 func (p *Port) Outstanding(warpSlot int) int { return p.outstanding[warpSlot] }
 
+// LSQEmpty reports whether no segment awaits injection. While true and
+// the SM issues nothing, CanAccept cannot flip, so port-side warp
+// readiness can only change through a completion callback — the property
+// the engine's SM dormancy optimization rests on.
+func (p *Port) LSQEmpty() bool { return len(p.lsq) == 0 }
+
 // Coalesce groups the request's lane accesses into 128-byte segments,
 // returning the segment count without enqueuing (used for LSQ admission
 // checks).
@@ -427,7 +447,7 @@ func (p *Port) Enqueue(r *Request) {
 			}
 		}
 		if seg == nil {
-			seg = p.sys.newSegment(r, line)
+			seg = p.newSegment(r, line)
 			segs = append(segs, seg)
 		}
 		seg.lanes = append(seg.lanes, i)
@@ -481,33 +501,72 @@ func (s *System) Tick(cycle int64) {
 	// artifact real interconnect/DRAM arbitration does not have.
 	if n := len(s.l2Queue); n > 0 {
 		s.arbLFSR = s.arbLFSR*1103515245 + 12345
-		start := int(s.arbLFSR>>16) % n
-		scanned := 0
-		for i := start; scanned < len(s.l2Queue) && s.l2Tokens > 0; scanned++ {
-			if i >= len(s.l2Queue) {
-				i = 0
-			}
-			seg := s.l2Queue[i]
-			cost := int64(1)
-			if seg.req.Op.IsAtomic() {
-				if busy, ok := s.atomBusy[seg.line]; ok && busy > cycle {
-					s.ports[seg.req.SM].stats.AtomRetries++
-					i++ // line's atomic slot occupied; leave queued
-					continue
+		if cycle < s.l2StuckUntil {
+			// A previous scan NACKed every queued segment and nothing has
+			// been enqueued since: each is an atomic whose line is still
+			// busy, so this cycle's scan would charge the identical retry
+			// set and service nothing. Replay the recorded counts. (The
+			// LFSR above still advances once per non-empty-queue cycle,
+			// exactly as the walk would.)
+			for sm, k := range s.l2StuckRetries {
+				if k != 0 {
+					s.ports[sm].stats.AtomRetries += k
 				}
-				if s.inj != nil && s.inj.forceAtomRetry() {
-					// Injected retry storm: NACK the service attempt exactly
-					// like a busy atomic slot would.
-					s.ports[seg.req.SM].stats.AtomRetries++
-					i++
-					continue
-				}
-				cost = s.cfg.AtomCost
-				s.atomBusy[seg.line] = cycle + s.cfg.AtomLat
 			}
-			s.l2Queue = append(s.l2Queue[:i], s.l2Queue[i+1:]...)
-			s.l2Tokens -= cost
-			s.serviceL2(seg)
+		} else {
+			start := int(s.arbLFSR>>16) % n
+			scanned := 0
+			served := false
+			minBusy := int64(math.MaxInt64)
+			for i := start; scanned < len(s.l2Queue) && s.l2Tokens > 0; scanned++ {
+				if i >= len(s.l2Queue) {
+					i = 0
+				}
+				seg := s.l2Queue[i]
+				cost := int64(1)
+				if seg.req.Op.IsAtomic() {
+					if busy, ok := s.atomBusy[seg.line]; ok && busy > cycle {
+						s.ports[seg.req.SM].stats.AtomRetries++
+						if busy < minBusy {
+							minBusy = busy
+						}
+						i++ // line's atomic slot occupied; leave queued
+						continue
+					}
+					if s.inj != nil && s.inj.forceAtomRetry() {
+						// Injected retry storm: NACK the service attempt exactly
+						// like a busy atomic slot would.
+						s.ports[seg.req.SM].stats.AtomRetries++
+						i++
+						continue
+					}
+					cost = s.cfg.AtomCost
+					s.atomBusy[seg.line] = cycle + s.cfg.AtomLat
+				}
+				s.l2Queue = append(s.l2Queue[:i], s.l2Queue[i+1:]...)
+				s.l2Tokens -= cost
+				s.serviceL2(seg)
+				served = true
+			}
+			// If nothing was served, every scanned entry took the busy-NACK
+			// path (non-atomics and free-line atomics are always serviced,
+			// and NACKs cost no tokens, so the walk covered the full queue):
+			// the scan is a pure function of the queue and atomBusy until
+			// minBusy. Record it — unless fault injection is live, whose
+			// forced NACKs draw from the RNG stream every walk.
+			if !served && s.inj == nil {
+				s.l2StuckUntil = minBusy
+				if cap(s.l2StuckRetries) < len(s.ports) {
+					s.l2StuckRetries = make([]int64, len(s.ports))
+				}
+				s.l2StuckRetries = s.l2StuckRetries[:len(s.ports)]
+				for i := range s.l2StuckRetries {
+					s.l2StuckRetries[i] = 0
+				}
+				for _, seg := range s.l2Queue {
+					s.l2StuckRetries[seg.req.SM]++
+				}
+			}
 		}
 	}
 	// 4. Inject one segment per SM port.
@@ -524,6 +583,42 @@ func (s *System) Tick(cycle int64) {
 	}
 }
 
+// NextEventAt returns the timestamp of the earliest scheduled completion
+// event, or false when none is pending.
+func (s *System) NextEventAt() (int64, bool) { return s.events.Peek() }
+
+// Idle reports whether Tick currently has no per-cycle work: the DRAM and
+// L2 service queues and every port's LSQ are empty. While idle, a Tick
+// that fires no due event changes nothing observable except the L2 token
+// bucket (MSHR maps, parked lock waiters and the atomic-busy table are
+// passive — they only change when an event fires or a new segment is
+// injected), so the engine's event-driven clock may skip idle cycles and
+// settle the token bucket through FastForward.
+func (s *System) Idle() bool {
+	if len(s.l2Queue) > 0 || len(s.dramQueue) > 0 {
+		return false
+	}
+	for _, p := range s.ports {
+		if len(p.lsq) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FastForward credits delta skipped idle cycles to the only time-driven
+// state Tick advances while Idle: the L2 token bucket. Per-cycle Tick
+// refills l2Tokens by L2Banks and caps at 4×L2Banks before any
+// consumption; with the L2 queue empty nothing consumes, so delta
+// iterations of (add, cap) equal one capped bulk add — the skip is
+// cycle-exact.
+func (s *System) FastForward(delta int64) {
+	s.l2Tokens += int64(s.cfg.L2Banks) * delta
+	if lim := 4 * int64(s.cfg.L2Banks); s.l2Tokens > lim {
+		s.l2Tokens = lim
+	}
+}
+
 // Quiescent reports whether no transactions are in flight anywhere.
 func (s *System) Quiescent() bool {
 	if len(s.events) > 0 || len(s.l2Queue) > 0 || len(s.dramQueue) > 0 || len(s.lockQueues) > 0 {
@@ -537,6 +632,15 @@ func (s *System) Quiescent() bool {
 	return true
 }
 
+// pushL2 is the only way segments enter the L2 service queue: the append
+// invalidates the stuck-scan cache, because a fresh segment (even another
+// blocked atomic) changes what the next scan charges and may be
+// serviceable.
+func (s *System) pushL2(seg *segment) {
+	s.l2Queue = append(s.l2Queue, seg)
+	s.l2StuckUntil = 0
+}
+
 func (p *Port) inject() {
 	if len(p.lsq) == 0 {
 		return
@@ -548,16 +652,16 @@ func (p *Port) inject() {
 		// Atomics bypass (and invalidate) L1 and go to the L2 atomic unit.
 		p.l1.Invalidate(seg.line)
 		p.stats.AtomicOps++
-		s.l2Queue = append(s.l2Queue, seg)
+		s.pushL2(seg)
 	case seg.req.Op == isa.OpSt:
 		// Write-through, no write-allocate: evict from L1, send to L2.
 		p.l1.Invalidate(seg.line)
 		p.stats.L1Accesses++
-		s.l2Queue = append(s.l2Queue, seg)
+		s.pushL2(seg)
 	case seg.req.Vol:
 		// Volatile load: bypass and invalidate the non-coherent L1.
 		p.l1.Invalidate(seg.line)
-		s.l2Queue = append(s.l2Queue, seg)
+		s.pushL2(seg)
 	default: // load
 		p.stats.L1Accesses++
 		if p.l1.Lookup(seg.line) {
@@ -574,7 +678,7 @@ func (p *Port) inject() {
 					return // no MSHR free: stall injection this cycle
 				}
 				p.mshr[seg.line] = []*segment{seg}
-				s.l2Queue = append(s.l2Queue, seg)
+				s.pushL2(seg)
 			}
 		}
 	}
@@ -777,11 +881,12 @@ func (s *System) applyAtomics(seg *segment) {
 
 // finish retires one segment; when it is the request's last, the request
 // completes. finish is every segment's unique end of life, so the segment
-// returns to the pool here.
+// returns to the issuing port's pool here.
 func (s *System) finish(seg *segment) {
 	r := seg.req
 	seg.req = nil
-	s.segFree = append(s.segFree, seg)
+	p := s.ports[r.SM]
+	p.segFree = append(p.segFree, seg)
 	r.remaining--
 	if r.remaining == 0 {
 		s.ports[r.SM].outstanding[r.WarpSlot]--

@@ -149,9 +149,14 @@ func (g *GTO) Pick(cycle int64, ready func(int) bool) int {
 		g.greedyPicks++
 		return g.last
 	}
-	n := len(g.slots)
-	for i := 0; i < n; i++ {
-		s := g.slots[(i+g.rot)%n]
+	// Scan in rotated order as two straight runs (no per-slot modulo).
+	for _, s := range g.slots[g.rot:] {
+		if ready(s) {
+			g.agedPicks++
+			return s
+		}
+	}
+	for _, s := range g.slots[:g.rot] {
 		if ready(s) {
 			g.agedPicks++
 			return s

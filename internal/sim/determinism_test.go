@@ -1,0 +1,135 @@
+// Determinism suite for the event-driven clock and sharded SM execution:
+// both are pure performance levers, so every observable — cycle counts,
+// per-SM statistics, DDOS detection quality, the final memory image, the
+// metrics snapshot — must be bit-identical to the per-cycle serial run.
+// The file lives in package sim_test so it can drive the real benchmark
+// kernels (package kernels imports sim).
+package sim_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"warpsched/internal/config"
+	"warpsched/internal/kernels"
+	"warpsched/internal/sim"
+)
+
+func detOptions(sms int, kind config.SchedulerKind, bows bool) sim.Options {
+	g := config.GTX480().Scaled(sms)
+	g.MaxCycles = 10_000_000
+	opt := sim.Options{GPU: g, Sched: kind, DDOS: config.DefaultDDOS()}
+	if bows {
+		opt.BOWS = config.DefaultBOWS()
+	} else {
+		opt.BOWS = config.BOWS{Mode: config.BOWSOff}
+	}
+	return opt
+}
+
+func runKernel(t *testing.T, k *kernels.Kernel, opt sim.Options) *sim.Result {
+	t.Helper()
+	eng, err := sim.New(opt, k.Launch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", k.Name, err)
+	}
+	if err := k.Verify(res.Memory); err != nil {
+		t.Fatalf("%s: %v", k.Name, err)
+	}
+	return res
+}
+
+// requireIdentical compares two full results field by field so a
+// divergence names what broke rather than dumping two giant structs.
+func requireIdentical(t *testing.T, label string, want, got *sim.Result) {
+	t.Helper()
+	if want.Stats.Cycles != got.Stats.Cycles {
+		t.Errorf("%s: cycles %d, want %d", label, got.Stats.Cycles, want.Stats.Cycles)
+	}
+	if !reflect.DeepEqual(want.Stats, got.Stats) {
+		t.Errorf("%s: aggregate stats diverged:\nwant %+v\ngot  %+v", label, want.Stats, got.Stats)
+	}
+	if !reflect.DeepEqual(want.PerSM, got.PerSM) {
+		t.Errorf("%s: per-SM stats diverged", label)
+	}
+	if !reflect.DeepEqual(want.Detection, got.Detection) ||
+		!reflect.DeepEqual(want.PerSMDetection, got.PerSMDetection) {
+		t.Errorf("%s: detection metrics diverged", label)
+	}
+	if !reflect.DeepEqual(want.ConfirmedSIBs, got.ConfirmedSIBs) ||
+		want.MaxSIBPTEntries != got.MaxSIBPTEntries {
+		t.Errorf("%s: SIB state diverged", label)
+	}
+	if !reflect.DeepEqual(want.FinalDelayLimits, got.FinalDelayLimits) {
+		t.Errorf("%s: adaptive delay limits diverged: want %v, got %v",
+			label, want.FinalDelayLimits, got.FinalDelayLimits)
+	}
+	if !reflect.DeepEqual(want.Memory, got.Memory) {
+		t.Errorf("%s: final memory image diverged", label)
+	}
+	if !reflect.DeepEqual(want.Metrics, got.Metrics) {
+		t.Errorf("%s: metrics snapshot diverged", label)
+	}
+}
+
+// TestFastForwardCycleExact runs the quick synchronization suite — the
+// kernels whose BOWS back-off windows are exactly what fast-forward
+// skips — per-cycle and fast-forwarded, under both schedulers the golden
+// gate covers, with BOWS off and on.
+func TestFastForwardCycleExact(t *testing.T) {
+	for _, kind := range []config.SchedulerKind{config.GTO, config.CAWA} {
+		for _, bows := range []bool{false, true} {
+			for _, k := range kernels.QuickSyncSuite() {
+				name := fmt.Sprintf("%s/%s/bows=%v", k.Name, kind, bows)
+				t.Run(name, func(t *testing.T) {
+					opt := detOptions(2, kind, bows)
+					opt.NoFastForward = true
+					want := runKernel(t, k, opt)
+					opt.NoFastForward = false
+					got := runKernel(t, k, opt)
+					requireIdentical(t, name, want, got)
+				})
+			}
+		}
+	}
+}
+
+// TestShardDeterminism runs representative sync and sync-free kernels on
+// a 4-SM machine across shard counts (8 clamps to the SM count) and both
+// clock implementations, requiring every variant to match the serial
+// per-cycle run. Run under -race in CI, this also proves the SM phase is
+// data-race-free.
+func TestShardDeterminism(t *testing.T) {
+	suite := kernels.QuickSyncSuite()
+	picks := map[string]bool{"HT": true, "ATM": true, "TSP": true}
+	var todo []*kernels.Kernel
+	for _, k := range suite {
+		if picks[k.Name] {
+			todo = append(todo, k)
+		}
+	}
+	if free := kernels.QuickSyncFreeSuite(); len(free) > 0 {
+		todo = append(todo, free[0])
+	}
+	for _, k := range todo {
+		t.Run(k.Name, func(t *testing.T) {
+			base := detOptions(4, config.GTO, true)
+			base.NoFastForward = true
+			want := runKernel(t, k, base)
+			for _, shards := range []int{1, 2, 8} {
+				for _, noFF := range []bool{true, false} {
+					opt := base
+					opt.Shards = shards
+					opt.NoFastForward = noFF
+					got := runKernel(t, k, opt)
+					requireIdentical(t, fmt.Sprintf("%s/shards=%d/noff=%v", k.Name, shards, noFF), want, got)
+				}
+			}
+		})
+	}
+}

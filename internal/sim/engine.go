@@ -68,6 +68,25 @@ type Options struct {
 	// reordering and atomic retry storms. Results remain deterministic for
 	// a given seed but differ from uninjected runs.
 	Faults *mem.FaultConfig
+
+	// NoFastForward disables the event-driven clock. By default, when
+	// every scheduler unit idles and the memory system has no per-cycle
+	// work, the engine jumps the cycle counter directly to the next cycle
+	// at which machine state can change (earliest memory completion event,
+	// BOWS back-off expiry, adaptive-controller window, DDOS time-share
+	// epoch, hang-monitor sample or invariant-check boundary),
+	// bulk-crediting every per-cycle counter. Fast-forwarded runs are
+	// cycle-exact: identical cycle counts, statistics, memory images and
+	// hang reports (see TestFastForwardCycleExact and the golden gate).
+	NoFastForward bool
+	// Shards runs SM ticks on a pool of worker goroutines (at most Shards,
+	// clamped to the SM count; 0 or 1 simulates serially). Each cycle is
+	// phase-split — serial memory tick, parallel SM ticks, serial merge —
+	// with a barrier at the L2 boundary, and SMs never touch shared state
+	// during their phase, so results are bit-identical for every value.
+	// Runs with a Tracer attached force serial execution (a shared tracer
+	// would observe SM events in nondeterministic order).
+	Shards int
 }
 
 // Tracer receives pipeline events during simulation. trace.Ring is the
@@ -105,6 +124,16 @@ type Result struct {
 	PCProfile []int64
 	// Memory exposes the final memory image for verification.
 	Memory []uint32
+	// FFJumps and FFSkippedCycles report event-driven clock activity: how
+	// many times the engine jumped over a fully calm machine and how many
+	// cycles those jumps covered. FFSkippedSMTicks counts individual SM
+	// ticks elided by per-SM dormancy (an SM can skip ticks while other
+	// SMs or the memory system stay busy, so this is usually much larger).
+	// All are zero under Options.NoFastForward; none affects any other
+	// statistic.
+	FFJumps          int64
+	FFSkippedCycles  int64
+	FFSkippedSMTicks int64
 	// Metrics is the end-of-run snapshot of the engine's metrics registry
 	// (hierarchical per-SM counters, see internal/metrics).
 	Metrics *metrics.Snapshot
@@ -126,6 +155,10 @@ type smUnit struct {
 	policy  sched.Policy
 	wrapped *core.Wrapped // non-nil when BOWS is on
 	slots   []int
+	// ffBlocked caches, during a fast-forward decision, how many ready
+	// backed-off warps each skipped cycle's failing Pick would have walked
+	// past (see core.Wrapped.BackoffStall); fastForward credits it.
+	ffBlocked int64
 }
 
 type smState struct {
@@ -145,7 +178,11 @@ type smState struct {
 	// wbHead tracks cycle % len(wbRing), advanced once per tick, so the
 	// hot path never computes an int64 modulo.
 	wbHead int
-	units  []*smUnit
+	// wbPending counts items across all wbRing entries; the event-driven
+	// clock only skips cycles while it is zero (a pending ALU writeback
+	// wakes a warp within ALULat cycles).
+	wbPending int
+	units     []*smUnit
 
 	ddos *core.DDOS
 	bows *core.BOWS
@@ -153,11 +190,34 @@ type smState struct {
 	ctas      []*ctaRec
 	freeSlots []int
 	resident  int
+	// ctasDone counts CTAs completed on this SM. It is per-SM (merged into
+	// Engine.ctasDone after each cycle's SM phase) so checkCTADone never
+	// writes engine state from a sharded SM tick.
+	ctasDone int
 
+	// issued reports whether any scheduler unit issued during the current
+	// tick; the engine reads it after the SM phase to decide whether the
+	// whole machine is stalled (a fast-forward precondition).
+	issued          bool
 	issuedThisCycle []bool
-	st              stats.Sim
-	maxSIBPT        int
-	pcCounts        []int64 // per-PC issue counts (Options.Profile)
+
+	// Dormancy: when a tick ends with nothing issued, no pending ALU
+	// writebacks and an empty LSQ, this SM is inert — failing Picks have
+	// no side effects, so subsequent ticks are pure per-cycle accounting
+	// until a completion callback lands (woke), a CTA is placed (woke), or
+	// a time boundary arrives (wakeAt: earliest back-off expiry among
+	// ready queued warps, BOWS adaptive window, DDOS time-share epoch).
+	// Skipped ticks' counters are bulk-credited by flush at wake-up,
+	// making dormant execution cycle-exact (see TestFastForwardCycleExact
+	// and the golden gate). dormantSince is the first skipped cycle.
+	dormant      bool
+	woke         bool
+	dormantSince int64
+	wakeAt       int64
+	ffSkipped    int64 // SM ticks skipped while dormant (observability)
+	st           stats.Sim
+	maxSIBPT     int
+	pcCounts     []int64 // per-PC issue counts (Options.Profile)
 
 	// port caches eng.sys.Port(id); readyFn and doneFn are bound once so
 	// the per-cycle Pick and per-request completion allocate no closures.
@@ -179,7 +239,21 @@ type smState struct {
 type instrMasks struct {
 	regs  uint64
 	preds uint64
+	// kind caches the instruction's readiness class so the scheduler's
+	// per-slot ready probe — the hottest call in the simulator — never
+	// touches the instruction stream.
+	kind readyKind
 }
+
+// readyKind classifies what, beyond the scoreboard, gates an
+// instruction's issue.
+type readyKind uint8
+
+const (
+	readyPlain  readyKind = iota // scoreboard only
+	readyMem                     // needs LSQ space and per-warp slots
+	readyMembar                  // needs an empty per-warp LSQ
+)
 
 // The bitmask scoreboards require the architectural limits to fit.
 const (
@@ -209,6 +283,12 @@ func buildMasks(p *isa.Program) []instrMasks {
 		if in.Guarded() {
 			mk.preds |= 1 << uint(in.Guard)
 		}
+		switch {
+		case in.Op.IsMem():
+			mk.kind = readyMem
+		case in.Op == isa.OpMembar:
+			mk.kind = readyMembar
+		}
 	}
 	return out
 }
@@ -235,6 +315,12 @@ type Engine struct {
 	nextCTA   int
 	totalCTAs int
 	ctasDone  int
+
+	// ffJumps / ffSkipped count event-driven clock jumps and the total
+	// cycles they covered (reported in Result; excluded from the metrics
+	// registry so golden manifests stay identical across clock modes).
+	ffJumps   int64
+	ffSkipped int64
 }
 
 // New builds an engine for the launch. It validates configuration and
@@ -405,6 +491,13 @@ func (e *Engine) Run() (res *Result, err error) {
 	}
 	nextCheck := checkEvery
 	hm := newHangMonitor(e)
+	ff := !e.opt.NoFastForward
+	pool := e.newShardPool()
+	if pool != nil {
+		// Registered after the AddrFault-translating recover above, so the
+		// workers are parked before a recovered fault returns.
+		defer pool.stop()
+	}
 
 	e.dispatch()
 	for e.ctasDone < e.totalCTAs {
@@ -432,15 +525,38 @@ func (e *Engine) Run() (res *Result, err error) {
 			}
 		}
 		e.sys.Tick(e.cycle)
-		for _, m := range e.sms {
-			m.tick(e.cycle)
-		}
+		issued := e.tickSMs(pool)
 		if e.nextCTA < e.totalCTAs {
 			e.dispatch()
 		}
+		// Event-driven clock jump: when every SM is dormant and the memory
+		// system has no queued per-cycle work, nothing can change until the
+		// next event, so jump straight to it. SM counters for the skipped
+		// cycles are credited lazily when each SM wakes (smState.flush);
+		// only the L2 token refill is time-proportional during idle memory
+		// cycles and is credited here. Landing on t-1 makes the e.cycle++
+		// below arrive exactly at t, so the loop-top watchdog / hang-sample
+		// / invariant boundaries fire at precisely the cycles a per-cycle
+		// run would visit.
+		if ff && !issued && e.calm() {
+			if t := e.nextWake(hm.next, nextCheck); t > e.cycle+1 {
+				e.sys.FastForward(t - e.cycle - 1)
+				e.ffJumps++
+				e.ffSkipped += t - e.cycle - 1
+				e.cycle = t - 1
+			}
+		}
 		e.cycle++
 	}
-	// Drain in-flight stores so the final memory image is complete.
+	// Close out dormant SMs at the cycle the issue loop stopped ticking
+	// them: the drain below advances e.cycle without SM ticks, so credits
+	// must not extend into it.
+	e.flushSMs()
+	// Drain in-flight stores so the final memory image is complete. Only
+	// the memory system ticks here, so the event-driven clock jumps to the
+	// event heap's next timestamp whenever the service queues are empty
+	// (clamped to MaxCycles so a drain that can never finish — e.g. parked
+	// lock waiters with no releaser — reports at the same cycle either way).
 	for !e.sys.Quiescent() {
 		if e.cycle >= e.opt.GPU.MaxCycles {
 			// Like the issue-loop watchdog above: return the partial result
@@ -449,6 +565,21 @@ func (e *Engine) Run() (res *Result, err error) {
 		}
 		e.sys.Tick(e.cycle)
 		e.cycle++
+		// Jump only while still non-quiescent: the tick above may have just
+		// completed the drain, and a per-cycle run would then exit at the
+		// very next cycle, not coast to the next boundary.
+		if ff && !e.sys.Quiescent() && e.sys.Idle() {
+			t := e.opt.GPU.MaxCycles
+			if at, ok := e.sys.NextEventAt(); ok && at < t {
+				t = at
+			}
+			if t > e.cycle {
+				e.sys.FastForward(t - e.cycle)
+				e.ffJumps++
+				e.ffSkipped += t - e.cycle
+				e.cycle = t
+			}
+		}
 	}
 	if e.opt.Check {
 		if ierr := e.checkInvariants(true); ierr != nil {
@@ -456,6 +587,183 @@ func (e *Engine) Run() (res *Result, err error) {
 		}
 	}
 	return e.result(), nil
+}
+
+// tickSMs runs every SM's tick for the current cycle — serially, or on
+// the shard pool when one is attached — then merges the per-SM CTA
+// completion counts and reports whether any unit issued. The merge order
+// is the fixed SM order, so sharded and serial runs are bit-identical.
+func (e *Engine) tickSMs(pool *shardPool) (issued bool) {
+	if pool == nil {
+		for _, m := range e.sms {
+			m.tickOrSkip(e.cycle)
+		}
+	} else {
+		// Dispatching the pool costs a cross-core barrier handoff; skip
+		// it on cycles where every SM would skip its tick anyway (all
+		// dormant, no wake due) — common while the machine waits out
+		// memory latency. Equivalent to the serial loop, whose calls
+		// would all return immediately.
+		work := false
+		for _, m := range e.sms {
+			if !m.dormant || m.woke || e.cycle >= m.wakeAt {
+				work = true
+				break
+			}
+		}
+		if work {
+			pool.run(e.cycle)
+		}
+	}
+	done := 0
+	for _, m := range e.sms {
+		issued = issued || m.issued
+		done += m.ctasDone
+	}
+	e.ctasDone = done
+	return issued
+}
+
+// calm reports whether simulated time alone can change machine state:
+// every SM is dormant with no wake-up pending (which implies no ALU
+// writebacks and empty LSQs) and the memory system has no queued
+// per-cycle work. This is the clock-jump precondition: scoreboards,
+// barrier states, port admission and warp readiness are all static until
+// the next scheduled event or time boundary.
+func (e *Engine) calm() bool {
+	for _, m := range e.sms {
+		if !m.dormant || m.woke {
+			return false
+		}
+	}
+	return e.sys.Idle()
+}
+
+// nextWake returns the earliest future cycle at which the calm machine
+// can change state: the memory event heap's minimum timestamp, each
+// dormant SM's cached wake-up boundary (earliest back-off expiry among
+// ready warps, adaptive delay-limit window, DDOS time-share epoch — see
+// smState.sleep), the next hang-monitor sample or invariant sweep, or the
+// MaxCycles watchdog. Every candidate is strictly greater than the
+// current cycle (boundaries that already fired this cycle were re-armed
+// beyond it); a candidate gated on instruction progress reports MaxInt64
+// since no instruction can issue while the machine is stalled.
+func (e *Engine) nextWake(hmNext, nextCheck int64) int64 {
+	t := e.opt.GPU.MaxCycles
+	if hmNext < t {
+		t = hmNext
+	}
+	if e.opt.Check && nextCheck < t {
+		t = nextCheck
+	}
+	if at, ok := e.sys.NextEventAt(); ok && at < t {
+		t = at
+	}
+	for _, m := range e.sms {
+		if m.wakeAt < t {
+			t = m.wakeAt
+		}
+	}
+	return t
+}
+
+// tickOrSkip is the per-cycle SM entry point: it skips the tick entirely
+// while the SM is dormant and nothing has arrived to wake it, flushes and
+// ticks when a wake-up condition holds, and re-evaluates dormancy after
+// every real tick.
+func (m *smState) tickOrSkip(cycle int64) {
+	if m.dormant {
+		if !m.woke && cycle < m.wakeAt {
+			return // inert: credits accrue lazily until flush
+		}
+		m.flush(cycle)
+	}
+	m.tick(cycle)
+	if !m.issued && m.wbPending == 0 && !m.eng.opt.NoFastForward && m.port.LSQEmpty() {
+		m.sleep(cycle)
+	}
+}
+
+// sleep marks the SM dormant after a tick in which nothing issued, no ALU
+// writeback is pending and the LSQ is empty. In that state a tick's only
+// effects are per-cycle accounting (failing Picks are side-effect-free —
+// see internal/sched — except for blocked-pick counts, whose per-cycle
+// contribution is cached here in u.ffBlocked). State can next change at a
+// completion callback (memDone sets woke), a CTA placement (placeCTA sets
+// woke), or the earliest time boundary computed here: a ready queued
+// warp's back-off expiry, the BOWS adaptive window close, or the DDOS
+// time-share epoch rotation.
+func (m *smState) sleep(cycle int64) {
+	wake := m.ddos.NextEpochBoundary()
+	if m.bows != nil {
+		if b := m.bows.NextWindowBoundary(); b < wake {
+			wake = b
+		}
+	}
+	for _, u := range m.units {
+		if u.wrapped == nil {
+			continue
+		}
+		w, blocked := u.wrapped.BackoffStall(m.readyFn)
+		u.ffBlocked = blocked
+		if w < wake {
+			wake = w
+		}
+	}
+	m.dormant = true
+	m.woke = false
+	m.dormantSince = cycle + 1
+	m.wakeAt = wake
+}
+
+// flush ends a dormant span at cycle (exclusive) and bulk-credits the
+// skipped ticks so every counter a per-cycle run would have accrued is
+// identical: per-unit idle cycles, per-warp residency/stall/backed-off
+// accounting (BackedOff is sticky — it only changes when the warp
+// issues, so the end-of-span value holds for the whole span), blocked
+// pick attempts (cached by sleep), and the writeback ring position (the
+// ring is empty — only its phase must track cycle).
+func (m *smState) flush(cycle int64) {
+	delta := cycle - m.dormantSince
+	m.dormant = false
+	m.woke = false
+	if delta <= 0 {
+		return
+	}
+	m.ffSkipped += delta
+	m.st.IdleCycles += int64(len(m.units)) * delta
+	m.st.SampleCycles += delta
+	for slot, w := range m.warps {
+		if w == nil || w.Done {
+			continue
+		}
+		mt := &m.metrics[slot]
+		mt.ResidentCycles += delta
+		mt.StallCycles += delta
+		m.st.ResidentSum += delta
+		m.st.StallTotal += delta
+		if m.bows != nil && m.bows.BackedOff(slot) {
+			m.st.BackedOffSum += delta
+		}
+	}
+	m.wbHead = int((int64(m.wbHead) + delta) % int64(len(m.wbRing)))
+	for _, u := range m.units {
+		if u.wrapped != nil && u.ffBlocked > 0 {
+			u.wrapped.CreditBlockedPicks(u.ffBlocked * delta)
+		}
+	}
+}
+
+// flushSMs settles every dormant SM's lazy credits up to the current
+// cycle. Any engine-side reader of SM statistics — the hang monitor, the
+// invariant checker, result — must flush first so it observes exactly the
+// state a per-cycle run would have.
+func (e *Engine) flushSMs() {
+	for _, m := range e.sms {
+		if m.dormant {
+			m.flush(e.cycle)
+		}
+	}
 }
 
 // Cycle returns the current simulation cycle.
@@ -475,6 +783,7 @@ func (e *Engine) dispatch() {
 }
 
 func (m *smState) placeCTA(ctaID, warpsPerCTA int) {
+	m.woke = true // freshly placed warps are ready: end any dormancy
 	l := &m.eng.launch
 	cta := simt.NewCTA(int32(ctaID), int32(l.CTAThreads), int32(l.GridCTAs), warpsPerCTA)
 	rec := &ctaRec{cta: cta}
@@ -507,11 +816,10 @@ func (m *smState) ready(slot int) bool {
 	if m.regPend[slot]&mk.regs != 0 || m.predPend[slot]&mk.preds != 0 {
 		return false
 	}
-	in := w.Prog.At(pc)
-	switch {
-	case in.Op.IsMem():
+	switch mk.kind {
+	case readyMem:
 		return m.port.Outstanding(slot) < m.eng.opt.GPU.Mem.MaxPerWarp && m.port.CanAccept(1)
-	case in.Op == isa.OpMembar:
+	case readyMembar:
 		return m.port.Outstanding(slot) == 0
 	}
 	return true
@@ -521,6 +829,7 @@ func (m *smState) tick(cycle int64) {
 	// 1. ALU writeback. wbHead tracks cycle % len(wbRing) (advanced at the
 	// end of each tick), avoiding the per-cycle int64 modulo.
 	ring := &m.wbRing[m.wbHead]
+	m.wbPending -= len(*ring)
 	for _, it := range *ring {
 		if it.isPred {
 			m.predPend[it.slot] &^= 1 << it.idx
@@ -537,6 +846,7 @@ func (m *smState) tick(cycle int64) {
 	}
 
 	// 3. Issue: one instruction per scheduler unit.
+	m.issued = false
 	for _, u := range m.units {
 		slot := u.policy.Pick(cycle, m.readyFn)
 		if slot < 0 {
@@ -544,6 +854,7 @@ func (m *smState) tick(cycle int64) {
 			continue
 		}
 		m.st.IssueCycles++
+		m.issued = true
 		m.issue(u, slot, cycle)
 	}
 
@@ -581,6 +892,7 @@ func (m *smState) pushWB(slot int, isPred bool, idx uint8) {
 		at -= len(m.wbRing)
 	}
 	m.wbRing[at] = append(m.wbRing[at], wbItem{slot: slot, isPred: isPred, idx: idx})
+	m.wbPending++
 }
 
 // issue executes one instruction from the warp in slot.
@@ -698,6 +1010,9 @@ func (m *smState) getReq() *mem.Request {
 // issues: it writes loaded values back to the issuing warp, releases the
 // destination-register scoreboard bit, and recycles the request.
 func (m *smState) memDone(r *mem.Request) {
+	// Any completion can change warp readiness (scoreboard clear,
+	// outstanding count, lock wake), so it ends this SM's dormancy.
+	m.woke = true
 	if r.WritesReg {
 		w := r.Owner.(*simt.Warp)
 		for i := range r.Accesses {
@@ -726,14 +1041,18 @@ func (m *smState) checkCTADone(cta *simt.CTA) {
 				m.freeSlots = append(m.freeSlots, s)
 			}
 			m.resident--
-			m.eng.ctasDone++
+			m.ctasDone++
 			return
 		}
 	}
 }
 
 func (e *Engine) result() *Result {
-	r := &Result{Memory: e.sys.Words()}
+	e.flushSMs()
+	r := &Result{Memory: e.sys.Words(), FFJumps: e.ffJumps, FFSkippedCycles: e.ffSkipped}
+	for _, m := range e.sms {
+		r.FFSkippedSMTicks += m.ffSkipped
+	}
 	seen := make(map[int32]struct{})
 	for _, m := range e.sms {
 		m.st.Cycles = e.cycle

@@ -297,6 +297,9 @@ func (hm *hangMonitor) starvedSlots() [][2]int {
 // repeated for two windows yet).
 func (hm *hangMonitor) sample() HangClass {
 	e := hm.eng
+	// Settle dormant SMs' lazy per-cycle credits so the sample reads the
+	// exact state a per-cycle run would have at this cycle.
+	e.flushSMs()
 	issued, useful, spin := e.progressSignals()
 	hm.lastIssuedD = issued - hm.prevIssued
 	hm.lastUsefulD = useful - hm.prevUseful

@@ -85,6 +85,7 @@ type slotProducers struct {
 // gets == puts). It returns nil or an *InvariantError listing every
 // violation found.
 func (e *Engine) checkInvariants(atEnd bool) error {
+	e.flushSMs()
 	var vs []InvariantViolation
 	add := func(name string, sm, slot int, format string, args ...any) {
 		vs = append(vs, InvariantViolation{Name: name, Cycle: e.cycle, SM: sm, Slot: slot,

@@ -1,0 +1,136 @@
+// Sharded SM execution: the per-cycle SM phase runs on a pool of worker
+// goroutines with a spin barrier at the L2/interconnect boundary.
+//
+// Each simulated cycle is already phase-split by Engine.Run: the memory
+// system ticks first (serially — it fires completion callbacks into SM
+// scoreboards), then every SM ticks, then the engine merges per-SM CTA
+// completions and dispatches. During the SM phase an smState touches only
+// its own state plus its private mem.Port (LSQ, L1, stats, segment pool);
+// the shared System queues are only appended to through Port.Enqueue into
+// the port-local LSQ, drained later by the serial memory phase. SMs are
+// therefore data-independent within the phase and can tick concurrently
+// in any order with bit-identical results — determinism comes from the
+// phase structure, not from scheduling luck.
+//
+// The barrier is a pair of atomic counters (epoch released by the
+// coordinator, done counted by workers) rather than channels or a
+// sync.WaitGroup per cycle: at millions of barriers per run, futex-based
+// primitives dominate the simulated work. Workers spin briefly and yield;
+// the coordinator runs shard 0 itself between releasing and waiting, so
+// the pool adds no latency when shards outnumber free cores.
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// shardPool runs SM ticks for one Engine across worker goroutines.
+type shardPool struct {
+	// groups is a near-equal contiguous partition of the engine's SMs;
+	// groups[0] is ticked by the coordinating goroutine itself.
+	groups [][]*smState
+
+	// cycle is published before epoch is advanced and read by workers
+	// after they observe the new epoch (release/acquire via the atomic).
+	cycle int64
+	epoch atomic.Int64 // advanced to release workers; -1 stops them
+	done  atomic.Int64 // cumulative completed worker-phases
+
+	// panics[g] carries a recovered panic out of worker g's SM phase; the
+	// coordinator re-raises them in group order after the barrier, so a
+	// fault on a worker surfaces exactly like a serial run's would (the
+	// engine's AddrFault recovery included).
+	panics []any
+	wg     sync.WaitGroup
+}
+
+// newShardPool builds the worker pool for e, or returns nil when the
+// engine should tick serially: Shards ≤ 1 after clamping to the SM
+// count, or a Tracer is attached (a shared tracer must observe events in
+// deterministic SM order, which only the serial loop guarantees).
+func (e *Engine) newShardPool() *shardPool {
+	n := e.opt.Shards
+	if n > len(e.sms) {
+		n = len(e.sms)
+	}
+	if n <= 1 || e.opt.Tracer != nil {
+		return nil
+	}
+	p := &shardPool{groups: make([][]*smState, n), panics: make([]any, n)}
+	per, extra := len(e.sms)/n, len(e.sms)%n
+	lo := 0
+	for g := range p.groups {
+		hi := lo + per
+		if g < extra {
+			hi++
+		}
+		p.groups[g] = e.sms[lo:hi]
+		lo = hi
+	}
+	for g := 1; g < n; g++ {
+		p.wg.Add(1)
+		go p.worker(g)
+	}
+	return p
+}
+
+// run executes one SM phase at cycle across the pool and blocks until
+// every shard has finished. Worker panics are re-raised here, lowest
+// group first, after all shards reach the barrier.
+func (p *shardPool) run(cycle int64) {
+	p.cycle = cycle
+	target := p.done.Load() + int64(len(p.groups)-1)
+	p.epoch.Add(1)
+	for _, m := range p.groups[0] {
+		m.tickOrSkip(cycle)
+	}
+	for spins := 0; p.done.Load() != target; spins++ {
+		if spins > 64 {
+			runtime.Gosched()
+		}
+	}
+	for g := 1; g < len(p.groups); g++ {
+		if r := p.panics[g]; r != nil {
+			p.panics[g] = nil
+			panic(r)
+		}
+	}
+}
+
+// stop releases the workers for good and waits for them to exit. Safe to
+// call only between cycles (never concurrently with run).
+func (p *shardPool) stop() {
+	p.epoch.Store(-1)
+	p.wg.Wait()
+}
+
+func (p *shardPool) worker(g int) {
+	defer p.wg.Done()
+	var seen int64
+	for spins := 0; ; spins++ {
+		ep := p.epoch.Load()
+		if ep == seen {
+			if spins > 64 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		if ep < 0 {
+			return
+		}
+		seen, spins = ep, 0
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					p.panics[g] = r
+				}
+			}()
+			for _, m := range p.groups[g] {
+				m.tickOrSkip(p.cycle)
+			}
+		}()
+		p.done.Add(1)
+	}
+}

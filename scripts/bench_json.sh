@@ -4,7 +4,7 @@
 # sub-benchmark. Usage: scripts/bench_json.sh [out.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR1.json}"
+out="${1:-BENCH_PR6.json}"
 
 go test -bench=BenchmarkSimulator -run '^$' -benchmem . | tee /tmp/bench_raw.txt
 

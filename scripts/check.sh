@@ -10,7 +10,7 @@
 # hang diagnosis). Run from the repo root:
 #
 #   scripts/check.sh          # gate only
-#   scripts/check.sh -bench   # gate + regenerate BENCH_PR1.json
+#   scripts/check.sh -bench   # gate + regenerate BENCH_PR6.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -49,8 +49,8 @@ go run ./cmd/warpsim -kernel HT -sms 2 -check > /dev/null
 go run ./cmd/warpsim -kernel ATM -sms 2 -bows ddos -check -fault-seed 7 > /dev/null
 
 if [[ "${1:-}" == "-bench" ]]; then
-    echo "== benchmarks -> BENCH_PR1.json =="
-    scripts/bench_json.sh BENCH_PR1.json
+    echo "== benchmarks -> BENCH_PR6.json =="
+    scripts/bench_json.sh BENCH_PR6.json
 fi
 
 echo "OK"
