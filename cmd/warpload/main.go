@@ -1,0 +1,291 @@
+// Command warpload load-tests a warpsimd daemon: N concurrent clients
+// drive a fixed job mix (default: the golden 32-run quick sync matrix —
+// 8 kernels × GTO/CAWA × ±BOWS) through POST /v1/jobs and report
+// latency percentiles, throughput and cache hit rate. With no -addr it
+// spins up an in-process server on a loopback port, so one command
+// exercises the full stack.
+//
+//	warpload -clients 1000 -requests 8000
+//	warpload -addr http://localhost:8723 -clients 256 -requests 4096
+//
+// -verify re-runs every distinct job in the mix directly on the engine
+// and diffs cycles and the full counter snapshot against the daemon's
+// cached manifests — the zero-divergence check that the service layer
+// returns exactly what cmd/warpsim would have computed.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"warpsched/internal/exp"
+	"warpsched/internal/metrics"
+	"warpsched/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "daemon base URL (empty = start an in-process server)")
+		clients  = flag.Int("clients", 64, "concurrent clients")
+		requests = flag.Int("requests", 2048, "total requests across all clients")
+		warmup   = flag.Bool("warmup", true, "submit each distinct job once before the timed phase")
+		verify   = flag.Bool("verify", false, "re-run the mix directly on the engine and diff against cached manifests")
+		workers  = flag.Int("workers", 0, "in-process server worker pool size (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 64, "in-process server queue depth")
+	)
+	flag.Parse()
+
+	mix := jobMix()
+	opt := server.Options{Workers: *workers, QueueDepth: *queue}
+
+	base := *addr
+	var drain func()
+	if base == "" {
+		var err error
+		base, drain, err = startLocal(opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("in-process server at %s\n", base)
+	}
+
+	client := &http.Client{Timeout: 10 * time.Minute,
+		Transport: &http.Transport{MaxIdleConnsPerHost: *clients}}
+
+	if *warmup {
+		fmt.Printf("warmup: %d distinct jobs...\n", len(mix))
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i := range mix {
+			wg.Add(1)
+			go func(r *server.JobRequest) {
+				defer wg.Done()
+				if _, _, err := submit(client, base, r); err != nil {
+					fmt.Fprintf(os.Stderr, "warmup: %v\n", err)
+				}
+			}(&mix[i])
+		}
+		wg.Wait()
+		fmt.Printf("warmup done in %.1fs\n", time.Since(start).Seconds())
+	}
+
+	fmt.Printf("load: %d clients, %d requests over a %d-job mix\n", *clients, *requests, len(mix))
+	lats := make([]time.Duration, *requests)
+	cachedCount := make([]int32, 1)
+	var errCount atomic.Int32
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *requests {
+					return
+				}
+				t0 := time.Now()
+				_, cached, err := submit(client, base, &mix[i%len(mix)])
+				lats[i] = time.Since(t0)
+				if err != nil {
+					errCount.Add(1)
+					continue
+				}
+				if cached {
+					atomic.AddInt32(&cachedCount[0], 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) time.Duration { return lats[min(len(lats)-1, int(q*float64(len(lats))))] }
+	ok := *requests - int(errCount.Load())
+	fmt.Printf("\n%d requests in %.2fs (%.0f req/s), %d errors\n",
+		*requests, wall.Seconds(), float64(*requests)/wall.Seconds(), errCount.Load())
+	fmt.Printf("latency  p50 %s  p90 %s  p99 %s  p99.9 %s  max %s\n",
+		pct(0.50), pct(0.90), pct(0.99), pct(0.999), lats[len(lats)-1])
+	if ok > 0 {
+		fmt.Printf("cache    %d/%d responses cached (%.1f%% hit rate)\n",
+			cachedCount[0], ok, 100*float64(cachedCount[0])/float64(ok))
+	}
+	dumpStats(client, base)
+
+	divergent := 0
+	if *verify {
+		divergent = verifyMix(client, base, opt, mix)
+	}
+	if drain != nil {
+		drain()
+	}
+	if errCount.Load() > 0 || divergent > 0 {
+		os.Exit(1)
+	}
+}
+
+// jobMix is the golden 32-run matrix: the quick sync suite under
+// GTO/CAWA with BOWS off and on, on the 2-SM Fermi — the same runs the
+// golden-stats gate pins, so results are independently known-good.
+func jobMix() []server.JobRequest {
+	kernels := []string{"TB", "ST", "DS", "ATM", "HT", "TSP", "NW1", "NW2"}
+	var mix []server.JobRequest
+	for _, k := range kernels {
+		for _, sched := range []string{"GTO", "CAWA"} {
+			for _, bows := range []string{"off", "ddos"} {
+				mix = append(mix, server.JobRequest{Kernel: k, Wait: true,
+					Config: server.JobConfig{SMs: 2, Quick: true, Sched: sched, BOWS: bows}})
+			}
+		}
+	}
+	return mix
+}
+
+// startLocal runs an in-process daemon on a loopback port and returns
+// its base URL and a drain func.
+func startLocal(opt server.Options) (string, func(), error) {
+	s, err := server.New(opt)
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	go httpSrv.Serve(ln)
+	drain := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+		s.Shutdown(ctx)
+	}
+	return "http://" + ln.Addr().String(), drain, nil
+}
+
+// submit POSTs one synchronous job and returns its result key and
+// whether the response was served from cache.
+func submit(client *http.Client, base string, req *server.JobRequest) (key string, cached bool, err error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", false, err
+	}
+	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", false, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", false, fmt.Errorf("POST /v1/jobs: %s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	var st server.JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		return "", false, err
+	}
+	if st.Err != "" {
+		return st.Key, st.Cached, fmt.Errorf("job %s failed: %s", st.ID, st.Err)
+	}
+	return st.Key, st.Cached, nil
+}
+
+// dumpStats prints the daemon's own view (GET /v1/stats).
+func dumpStats(client *http.Client, base string) {
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stats: %v\n", err)
+		return
+	}
+	defer resp.Body.Close()
+	var st server.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		fmt.Fprintf(os.Stderr, "stats: %v\n", err)
+		return
+	}
+	fmt.Printf("server   engine runs %d, deduped %d, cache %d/%d hits (%.1f%%), evictions %d, latency p50 %dµs p99 %dµs\n",
+		st.Jobs.EngineRuns, st.Jobs.Deduped, st.Cache.Hits, st.Cache.Hits+st.Cache.Misses,
+		100*st.Cache.HitRate, st.Cache.Evictions, st.LatencyUS.P50, st.LatencyUS.P99)
+}
+
+// verifyMix re-runs every distinct job directly on the engine (same
+// resolution path the daemon admits with) and compares cycles and the
+// full counter snapshot against the cached manifest. Returns the number
+// of divergent jobs (zero is the acceptance bar: the service must be a
+// transparent cache over the deterministic engine).
+func verifyMix(client *http.Client, base string, opt server.Options, mix []server.JobRequest) int {
+	fmt.Printf("\nverify: re-running %d jobs directly on the engine...\n", len(mix))
+	divergent := 0
+	for i := range mix {
+		req := mix[i]
+		spec, rerr := opt.Resolve(&req)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "verify: resolve: %v\n", rerr)
+			divergent++
+			continue
+		}
+		key, _, err := submit(client, base, &req)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+			divergent++
+			continue
+		}
+		resp, err := client.Get(base + "/v1/results/" + key)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "verify: fetch result: %v\n", err)
+			divergent++
+			continue
+		}
+		var m metrics.Manifest
+		err = json.NewDecoder(resp.Body).Decode(&m)
+		resp.Body.Close()
+		if err != nil || len(m.Runs) != 1 {
+			fmt.Fprintf(os.Stderr, "verify: manifest for %s: %v (%d runs)\n", key, err, len(m.Runs))
+			divergent++
+			continue
+		}
+		out := exp.Cfg{Jobs: 1}.Execute([]exp.Spec{spec})[0]
+		if out.Err != nil {
+			fmt.Fprintf(os.Stderr, "verify: direct run %s: %v\n", req.Kernel, out.Err)
+			divergent++
+			continue
+		}
+		rec := m.Runs[0]
+		switch {
+		case out.Res.Stats.Cycles != rec.Cycles:
+			fmt.Fprintf(os.Stderr, "verify: %s %s: cycles %d (direct) != %d (cached)\n",
+				req.Kernel, rec.Variant, out.Res.Stats.Cycles, rec.Cycles)
+			divergent++
+		case !reflect.DeepEqual(out.Res.Metrics.Counters, rec.Counters):
+			fmt.Fprintf(os.Stderr, "verify: %s %s: counter snapshots differ\n", req.Kernel, rec.Variant)
+			divergent++
+		}
+	}
+	if divergent == 0 {
+		fmt.Printf("verify: zero divergence across %d jobs\n", len(mix))
+	} else {
+		fmt.Fprintf(os.Stderr, "verify: %d/%d jobs diverged\n", divergent, len(mix))
+	}
+	return divergent
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "warpload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+// Command warpsimd is the simulation-as-a-service daemon: a long-running
+// HTTP/JSON server that accepts simulation jobs (registered kernels or
+// inline ISA programs plus a configuration), validates them with the
+// static analyzer at admission, runs them on a bounded worker pool, and
+// serves results from a content-addressed cache keyed by (program FNV,
+// config hash, sim version) — so repeated submissions return instantly
+// and byte-identically.
+//
+//	warpsimd -addr :8723 -workers 8 -journal /var/tmp/warpsimd.jsonl
+//
+// Endpoints: POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/results/{key},
+// GET /v1/stats, GET /healthz (see README "Serving simulations" for the
+// curl quickstart). SIGTERM/SIGINT drain gracefully: admission stops,
+// queued and running jobs finish, and — with -journal — anything still
+// unfinished at a hard kill is re-enqueued on next start.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"warpsched/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8723", "listen address")
+		workers   = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "admission queue depth; beyond it submissions get HTTP 429")
+		cacheMB   = flag.Int64("cache-mb", 256, "result cache memory bound in MiB")
+		maxCycles = flag.Int64("max-cycles", 10_000_000, "per-job watchdog cycle ceiling")
+		retries   = flag.Int("retries", 1, "bounded re-runs of panicked simulations")
+		shards    = flag.Int("shards", 1, "SM shards per engine (results identical for every value)")
+		noFF      = flag.Bool("no-ff", false, "disable event-driven fast-forward (results identical either way)")
+		check     = flag.Bool("check", false, "arm runtime invariant checking and early hang aborts on every job")
+		journal   = flag.String("journal", "", "recovery journal path (empty = no crash recovery)")
+		drainSecs = flag.Int("drain-timeout", 600, "seconds to wait for in-flight jobs on shutdown")
+		quiet     = flag.Bool("quiet", false, "suppress per-job log lines")
+	)
+	flag.Parse()
+
+	opt := server.Options{
+		Workers: *workers, QueueDepth: *queue, CacheBytes: *cacheMB << 20,
+		MaxJobCycles: *maxCycles, Retries: *retries, Shards: *shards,
+		NoFastForward: *noFF, Check: *check, Journal: *journal,
+	}
+	if !*quiet {
+		opt.Log = log.Printf
+	}
+	s, err := server.New(opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	log.Printf("warpsimd: serving on %s (workers=%d queue=%d cache=%dMiB journal=%q)",
+		ln.Addr(), opt.Workers, opt.QueueDepth, *cacheMB, *journal)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case got := <-sig:
+		log.Printf("warpsimd: %v — draining", got)
+	case err := <-errCh:
+		fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSecs)*time.Second)
+	defer cancel()
+	// Stop the listener first so no new requests race the drain, then
+	// let queued and running jobs finish.
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("warpsimd: http shutdown: %v", err)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		fatal(fmt.Errorf("drain: %w", err))
+	}
+	log.Printf("warpsimd: drained cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "warpsimd:", err)
+	os.Exit(1)
+}

@@ -66,7 +66,7 @@ func Ablation(c Cfg) (*AblationResult, error) {
 	var specs []runSpec
 	for _, k := range suite {
 		for _, bows := range configs {
-			specs = append(specs, runSpec{gpu, config.GTO, bows, config.DefaultDDOS(), k})
+			specs = append(specs, runSpec{gpu: gpu, sched: config.GTO, bows: bows, ddos: config.DefaultDDOS(), k: k})
 		}
 	}
 	outs := c.runAll(specs)

@@ -53,7 +53,7 @@ func DelaySweep(c Cfg) (*DelaySweepResult, error) {
 	var specs []runSpec
 	for _, k := range suite {
 		for _, bows := range bowsCols {
-			specs = append(specs, runSpec{gpu, config.GTO, bows, config.DefaultDDOS(), k})
+			specs = append(specs, runSpec{gpu: gpu, sched: config.GTO, bows: bows, ddos: config.DefaultDDOS(), k: k})
 		}
 	}
 	outs := c.runAll(specs)

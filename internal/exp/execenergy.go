@@ -46,7 +46,7 @@ func ExecEnergy(c Cfg, gpu config.GPU, label string) (*ExecEnergyResult, error) 
 				if withBOWS {
 					bows = config.DefaultBOWS()
 				}
-				specs = append(specs, runSpec{gpu, kind, bows, config.DefaultDDOS(), k})
+				specs = append(specs, runSpec{gpu: gpu, sched: kind, bows: bows, ddos: config.DefaultDDOS(), k: k})
 			}
 		}
 	}

@@ -129,19 +129,25 @@ func (c Cfg) syncFreeSuite() []*kernels.Kernel {
 // approach livelock, e.g. DS on the oversubscribed Pascal — an effect
 // the paper itself reports in §VI-D) at expMaxCycles; the partial result
 // is returned alongside the error so sweeps can record "at least this
-// slow" instead of aborting.
-func (c Cfg) run(gpu config.GPU, kind config.SchedulerKind, bows config.BOWS,
-	ddos config.DDOS, k *kernels.Kernel, tr sim.Tracer) (*sim.Result, error) {
-	if gpu.MaxCycles > expMaxCycles {
+// slow" instead of aborting. Specs submitted through Execute may carry
+// their own explicit cycle ceiling (sp.maxCycles), which replaces the
+// experiment clamp — the submitter (internal/server admission control)
+// owns the bound.
+func (c Cfg) run(sp *runSpec, tr sim.Tracer) (*sim.Result, error) {
+	gpu := sp.gpu
+	if sp.maxCycles > 0 {
+		gpu.MaxCycles = sp.maxCycles
+	} else if gpu.MaxCycles > expMaxCycles {
 		gpu.MaxCycles = expMaxCycles
 	}
-	opt := sim.Options{GPU: gpu, Sched: kind, BOWS: bows, DDOS: ddos, Tracer: tr, Faults: c.Faults,
-		Shards: c.Shards, NoFastForward: c.NoFastForward}
+	opt := sim.Options{GPU: gpu, Sched: sp.sched, BOWS: sp.bows, DDOS: sp.ddos, Tracer: tr,
+		Faults: c.Faults, Shards: c.Shards, NoFastForward: c.NoFastForward,
+		Progress: sp.progress}
 	if c.Check {
 		opt.Check = true
 		opt.HangWindow = sim.DefaultHangWindow
 	}
-	eng, err := sim.New(opt, k.Launch)
+	eng, err := sim.New(opt, sp.k.Launch)
 	if err != nil {
 		return nil, err
 	}
@@ -149,8 +155,10 @@ func (c Cfg) run(gpu config.GPU, kind config.SchedulerKind, bows config.BOWS,
 	if err != nil {
 		return res, err // res is the partial state on a watchdog abort
 	}
-	if err := k.Verify(res.Memory); err != nil {
-		return nil, fmt.Errorf("%s under %s: %w", k.Name, kind, err)
+	if sp.k.Verify != nil {
+		if err := sp.k.Verify(res.Memory); err != nil {
+			return nil, fmt.Errorf("%s under %s: %w", sp.k.Name, sp.sched, err)
+		}
 	}
 	return res, nil
 }

@@ -49,8 +49,8 @@ func Fig1(c Cfg) (*Fig1Result, error) {
 			Items: items / 8, Buckets: buckets, CTAs: 1, CTAThreads: 32,
 		})
 		specs = append(specs,
-			runSpec{gpu, config.GTO, bowsOff(), config.DefaultDDOS(), k},
-			runSpec{gpu, config.GTO, bowsOff(), config.DefaultDDOS(), k1})
+			runSpec{gpu: gpu, sched: config.GTO, bows: bowsOff(), ddos: config.DefaultDDOS(), k: k},
+			runSpec{gpu: gpu, sched: config.GTO, bows: bowsOff(), ddos: config.DefaultDDOS(), k: k1})
 	}
 	outs := c.runAll(specs)
 	if err := firstErr(outs); err != nil {

@@ -39,9 +39,9 @@ func Fig14(c Cfg) (*Fig14Result, error) {
 	var specs []runSpec
 	for _, k := range suite {
 		specs = append(specs,
-			runSpec{gpu, config.GTO, bowsOff(), config.DefaultDDOS(), k},
-			runSpec{gpu, config.GTO, config.FixedBOWS(5000), config.DefaultDDOS(), k},
-			runSpec{gpu, config.GTO, config.FixedBOWS(5000), modDDOS, k})
+			runSpec{gpu: gpu, sched: config.GTO, bows: bowsOff(), ddos: config.DefaultDDOS(), k: k},
+			runSpec{gpu: gpu, sched: config.GTO, bows: config.FixedBOWS(5000), ddos: config.DefaultDDOS(), k: k},
+			runSpec{gpu: gpu, sched: config.GTO, bows: config.FixedBOWS(5000), ddos: modDDOS, k: k})
 	}
 	outs := c.runAll(specs)
 	if err := firstErr(outs); err != nil {

@@ -45,9 +45,9 @@ func Fig16(c Cfg) (*Fig16Result, error) {
 			Items: items, Buckets: buckets, CTAs: ctas, CTAThreads: ctaThreads,
 		})
 		specs = append(specs,
-			runSpec{gpu, config.GTO, bowsOff(), config.DefaultDDOS(), k},
-			runSpec{gpu, config.GTO, config.DefaultBOWS(), config.DefaultDDOS(), k},
-			runSpec{qGPU, config.GTO, bowsOff(), config.DefaultDDOS(), k})
+			runSpec{gpu: gpu, sched: config.GTO, bows: bowsOff(), ddos: config.DefaultDDOS(), k: k},
+			runSpec{gpu: gpu, sched: config.GTO, bows: config.DefaultBOWS(), ddos: config.DefaultDDOS(), k: k},
+			runSpec{gpu: qGPU, sched: config.GTO, bows: bowsOff(), ddos: config.DefaultDDOS(), k: k})
 	}
 	outs := c.runAll(specs)
 	if err := firstErr(outs); err != nil {

@@ -25,7 +25,7 @@ func Fig2(c Cfg) (*Fig2Result, error) {
 	var specs []runSpec
 	for _, k := range suite {
 		for _, kind := range config.Schedulers {
-			specs = append(specs, runSpec{gpu, kind, bowsOff(), config.DefaultDDOS(), k})
+			specs = append(specs, runSpec{gpu: gpu, sched: kind, bows: bowsOff(), ddos: config.DefaultDDOS(), k: k})
 		}
 	}
 	outs := c.runAll(specs)

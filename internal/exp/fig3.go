@@ -39,7 +39,7 @@ func Fig3(c Cfg) (*Fig3Result, error) {
 				Items: items, Buckets: bk, CTAs: ctas, CTAThreads: ctaThreads,
 				DelayFactor: df,
 			})
-			specs = append(specs, runSpec{gpu, config.GTO, bowsOff(), config.DefaultDDOS(), k})
+			specs = append(specs, runSpec{gpu: gpu, sched: config.GTO, bows: bowsOff(), ddos: config.DefaultDDOS(), k: k})
 		}
 	}
 	outs := c.runAll(specs)

@@ -18,8 +18,8 @@ func goldenSpecs(c Cfg) []runSpec {
 	for _, k := range c.syncSuite() {
 		for _, kind := range []config.SchedulerKind{config.GTO, config.CAWA} {
 			specs = append(specs,
-				runSpec{gpu, kind, bowsOff(), config.DefaultDDOS(), k},
-				runSpec{gpu, kind, config.DefaultBOWS(), config.DefaultDDOS(), k})
+				runSpec{gpu: gpu, sched: kind, bows: bowsOff(), ddos: config.DefaultDDOS(), k: k},
+				runSpec{gpu: gpu, sched: kind, bows: config.DefaultBOWS(), ddos: config.DefaultDDOS(), k: k})
 		}
 	}
 	return specs

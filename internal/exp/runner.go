@@ -7,6 +7,7 @@ import (
 	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"warpsched/internal/config"
@@ -16,12 +17,17 @@ import (
 
 // runSpec is one fully-specified simulation: machine, scheduler, BOWS,
 // DDOS and kernel. Every experiment's sweep is a slice of these.
+// maxCycles and progress only carry values for specs submitted through
+// the exported Execute path (see service.go); experiment sweeps leave
+// them zero.
 type runSpec struct {
-	gpu   config.GPU
-	sched config.SchedulerKind
-	bows  config.BOWS
-	ddos  config.DDOS
-	k     *kernels.Kernel
+	gpu       config.GPU
+	sched     config.SchedulerKind
+	bows      config.BOWS
+	ddos      config.DDOS
+	k         *kernels.Kernel
+	maxCycles int64
+	progress  *atomic.Int64
 }
 
 // runOut pairs a spec's result with its error. On a watchdog abort res
@@ -138,7 +144,7 @@ func (c Cfg) guardedRun(sp *runSpec, tr sim.Tracer) (o runOut) {
 				Value: fmt.Sprint(r), Stack: string(debug.Stack())}}
 		}
 	}()
-	res, err := c.run(sp.gpu, sp.sched, sp.bows, sp.ddos, sp.k, tr)
+	res, err := c.run(sp, tr)
 	return runOut{res: res, err: err}
 }
 

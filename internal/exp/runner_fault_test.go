@@ -26,7 +26,7 @@ func TestRunnerFaultInjectionStress(t *testing.T) {
 		for _, bows := range []config.BOWS{bowsOff(), config.DefaultBOWS()} {
 			var specs []runSpec
 			for _, k := range suite {
-				specs = append(specs, runSpec{g, config.GTO, bows, config.DefaultDDOS(), k})
+				specs = append(specs, runSpec{gpu: g, sched: config.GTO, bows: bows, ddos: config.DefaultDDOS(), k: k})
 			}
 			faults := mem.DefaultFaults(seed)
 			c := Cfg{Jobs: 2, Check: true, Faults: &faults}

@@ -18,7 +18,7 @@ func testSpec(buckets int) runSpec {
 	k := kernels.NewHashTable(kernels.HashTableConfig{
 		Items: 1024, Buckets: buckets, CTAs: 4, CTAThreads: 64,
 	})
-	return runSpec{g, config.GTO, config.DefaultBOWS(), config.DefaultDDOS(), k}
+	return runSpec{gpu: g, sched: config.GTO, bows: config.DefaultBOWS(), ddos: config.DefaultDDOS(), k: k}
 }
 
 // TestRunnerRepeatDeterminism runs the same kernel with the same options
@@ -27,12 +27,12 @@ func testSpec(buckets int) runSpec {
 // parallel runner's byte-identical-output guarantee rests on.
 func TestRunnerRepeatDeterminism(t *testing.T) {
 	sp := testSpec(64)
-	a, err := Cfg{}.run(sp.gpu, sp.sched, sp.bows, sp.ddos, sp.k, nil)
+	a, err := Cfg{}.run(&sp, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sp2 := testSpec(64)
-	b, err := Cfg{}.run(sp2.gpu, sp2.sched, sp2.bows, sp2.ddos, sp2.k, nil)
+	b, err := Cfg{}.run(&sp2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestRunnerSubmissionOrder(t *testing.T) {
 	want := make([]int64, len(buckets))
 	for i, bk := range buckets {
 		specs[i] = testSpec(bk)
-		res, err := Cfg{}.run(specs[i].gpu, specs[i].sched, specs[i].bows, specs[i].ddos, specs[i].k, nil)
+		res, err := Cfg{}.run(&specs[i], nil)
 		if err != nil {
 			t.Fatal(err)
 		}

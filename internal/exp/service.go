@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"sync/atomic"
+
+	"warpsched/internal/config"
+	"warpsched/internal/kernels"
+	"warpsched/internal/sim"
+)
+
+// Spec is one externally submitted simulation: the exported form of the
+// runner's internal spec, used by internal/server to run daemon jobs on
+// the same bounded worker pool (panic barrier, bounded retries, hang
+// classification) that experiment sweeps use.
+type Spec struct {
+	// GPU, Sched, BOWS and DDOS select the machine and policies, exactly
+	// as an experiment sweep would.
+	GPU   config.GPU
+	Sched config.SchedulerKind
+	BOWS  config.BOWS
+	DDOS  config.DDOS
+	// Kernel is the program plus launch (and, when registered, verifier).
+	// A nil Verify skips functional verification — the case for inline
+	// user-submitted programs, which have no golden output.
+	Kernel *kernels.Kernel
+	// MaxCycles, when positive, replaces the harness's experiment cycle
+	// clamp as the watchdog budget; the submitter owns the ceiling
+	// (internal/server admission control bounds it per job).
+	MaxCycles int64
+	// Progress, when non-nil, is handed to the engine (sim.Options.Progress)
+	// so the submitter can poll cycles simulated while the job runs.
+	Progress *atomic.Int64
+}
+
+// Outcome pairs a spec's result with its error, in the same convention
+// as the runner: on a watchdog abort Res holds the partial state.
+type Outcome struct {
+	Res *sim.Result
+	Err error
+}
+
+// Execute runs the specs on the harness's bounded worker pool (Cfg.Jobs)
+// and returns outcomes in submission order. Panics are recovered into
+// *PanicError records with Cfg.Retries re-runs, identically to
+// experiment sweeps. Cfg.Collect and Cfg.Journal are not consulted —
+// callers that cache or persist results (internal/server) own that
+// layer.
+func (c Cfg) Execute(specs []Spec) []Outcome {
+	rs := make([]runSpec, len(specs))
+	for i, s := range specs {
+		rs[i] = runSpec{gpu: s.GPU, sched: s.Sched, bows: s.BOWS, ddos: s.DDOS,
+			k: s.Kernel, maxCycles: s.MaxCycles, progress: s.Progress}
+	}
+	c.Collect, c.Journal = nil, nil
+	outs := c.runAll(rs)
+	res := make([]Outcome, len(outs))
+	for i, o := range outs {
+		res[i] = Outcome{Res: o.res, Err: o.err}
+	}
+	return res
+}
+
+// VariantHash fingerprints a spec's full configuration — machine,
+// scheduler, BOWS and DDOS parameters, launch geometry and parameters —
+// with the same hash experiment manifests key runs by, so a daemon job
+// and a sweep run of the same configuration produce the same variant
+// identity. Deliberately excluded, like Cfg.Jobs/Shards/NoFastForward:
+// anything that cannot change simulation results.
+func VariantHash(s Spec) string {
+	sp := runSpec{gpu: s.GPU, sched: s.Sched, bows: s.BOWS, ddos: s.DDOS, k: s.Kernel}
+	return variantHash(&sp)
+}

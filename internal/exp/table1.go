@@ -157,7 +157,7 @@ func Table1(c Cfg) (*Table1Result, error) {
 	var specs []runSpec
 	for _, d := range order {
 		for _, k := range suite {
-			specs = append(specs, runSpec{gpu, config.GTO, bowsOff(), d, k})
+			specs = append(specs, runSpec{gpu: gpu, sched: config.GTO, bows: bowsOff(), ddos: d, k: k})
 		}
 	}
 	outs := c.runAll(specs)

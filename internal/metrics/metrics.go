@@ -63,6 +63,34 @@ func (h *Histogram) Observe(v int64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count }
 
+// Quantile returns a bucketed upper-bound estimate of the q-quantile
+// (0 ≤ q ≤ 1): the smallest bucket bound at or below which at least
+// q·count observations fall. Observations past the last bound report
+// the observed max (the histogram has no tighter bound there). Zero
+// observations report 0. The estimate's resolution is the bucket
+// layout — internal/server sizes latency buckets logarithmically so
+// p50/p99 stay within a factor of ~2.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(q*float64(h.count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range h.counts {
+		cum += n
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() int64 { return h.sum }
 

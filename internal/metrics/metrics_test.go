@@ -125,3 +125,31 @@ func TestCounterHotPathZeroAlloc(t *testing.T) {
 		t.Errorf("hot path allocated %v times per run, want 0", n)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []int64{10, 100, 1000})
+
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	for _, v := range []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 500} {
+		h.Observe(v)
+	}
+	// 9 of 10 observations fall in the ≤10 bucket, one in ≤1000.
+	if got := h.Quantile(0.5); got != 10 {
+		t.Errorf("p50 = %d, want 10", got)
+	}
+	if got := h.Quantile(0.99); got != 1000 {
+		t.Errorf("p99 = %d, want 1000", got)
+	}
+	if got := h.Quantile(1.0); got != 1000 {
+		t.Errorf("p100 = %d, want 1000", got)
+	}
+
+	// Past the last bound, the estimate falls back to the observed max.
+	h.Observe(50_000)
+	if got := h.Quantile(1.0); got != 50_000 {
+		t.Errorf("overflow quantile = %d, want observed max 50000", got)
+	}
+}

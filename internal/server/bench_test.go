@@ -1,0 +1,22 @@
+package server
+
+import "testing"
+
+func BenchmarkResolveQuickKernel(b *testing.B) {
+	o := Options{}
+	req := &JobRequest{Kernel: "HT", Config: JobConfig{SMs: 2, Quick: true}}
+	for i := 0; i < b.N; i++ {
+		if _, rerr := o.Resolve(req); rerr != nil {
+			b.Fatal(rerr)
+		}
+	}
+}
+
+func BenchmarkResolveInline(b *testing.B) {
+	o := Options{}
+	for i := 0; i < b.N; i++ {
+		if _, rerr := o.Resolve(inlineReq(1000)); rerr != nil {
+			b.Fatal(rerr)
+		}
+	}
+}

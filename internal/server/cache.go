@@ -1,0 +1,121 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CachedResult is one finished job as stored in the result cache: the
+// headline outcome plus the full schema-2 manifest, kept as the exact
+// bytes served by GET /v1/results/{key} so repeated hits are
+// byte-identical by construction.
+type CachedResult struct {
+	// Key is the content address the result is stored under.
+	Key string `json:"key"`
+	// Cycles is the headline cycle count (partial on failed runs).
+	Cycles int64 `json:"cycles"`
+	// Err is the simulation outcome error, empty on success. Failures
+	// are deterministic (watchdog aborts, hang classifications,
+	// verification mismatches) and therefore as cacheable as successes.
+	Err string `json:"err,omitempty"`
+	// Manifest is the serialized metrics.Manifest (schema 2, one run,
+	// full per-SM counter resolution).
+	Manifest []byte `json:"-"`
+}
+
+// size approximates the entry's memory footprint for the cache bound.
+func (r *CachedResult) size() int64 {
+	return int64(len(r.Manifest) + len(r.Key) + len(r.Err) + 128)
+}
+
+// Cache is a byte-bounded LRU over CachedResults. All methods are safe
+// for concurrent use. Single-flight deduplication of identical jobs
+// lives above it in the server's job index — the cache itself only
+// stores finished results.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+// NewCache returns an LRU bounded at maxBytes of stored results
+// (approximate footprint: manifest bytes plus fixed overhead). A bound
+// of zero or less stores nothing, turning the server into a pure
+// pass-through — useful for load tests of the miss path.
+func NewCache(maxBytes int64) *Cache {
+	return &Cache{maxBytes: maxBytes, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached result and marks it most recently used.
+func (c *Cache) Get(key string) (*CachedResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*CachedResult), true
+}
+
+// Put stores a result, evicting least-recently-used entries until the
+// byte bound holds. An entry larger than the whole bound is not stored.
+func (c *Cache) Put(r *CachedResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[r.Key]; ok {
+		// Deterministic results make overwrites value-identical; just
+		// refresh recency.
+		c.ll.MoveToFront(el)
+		return
+	}
+	sz := r.size()
+	if sz > c.maxBytes {
+		return
+	}
+	c.items[r.Key] = c.ll.PushFront(r)
+	c.bytes += sz
+	for c.bytes > c.maxBytes {
+		el := c.ll.Back()
+		if el == nil {
+			break
+		}
+		victim := c.ll.Remove(el).(*CachedResult)
+		delete(c.items, victim.Key)
+		c.bytes -= victim.size()
+		c.evictions++
+	}
+}
+
+// CacheStats is a point-in-time view of cache effectiveness.
+type CacheStats struct {
+	// Entries and Bytes describe current occupancy; MaxBytes the bound.
+	Entries  int   `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"max_bytes"`
+	// Hits, Misses and Evictions are cumulative since server start.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	// HitRate is Hits/(Hits+Misses), 0 before any lookup.
+	HitRate float64 `json:"hit_rate"`
+}
+
+// Stats returns current occupancy and cumulative hit/miss/eviction
+// counts.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{Entries: len(c.items), Bytes: c.bytes, MaxBytes: c.maxBytes,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
+	if total := c.hits + c.misses; total > 0 {
+		s.HitRate = float64(c.hits) / float64(total)
+	}
+	return s
+}

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func mkResult(key string, payload int) *CachedResult {
+	return &CachedResult{Key: key, Cycles: 1, Manifest: make([]byte, payload)}
+}
+
+// TestCacheLRUEviction fills the cache past its byte bound and checks
+// that the least-recently-used entries leave first, that a Get
+// refreshes recency, and that occupancy tracking matches.
+func TestCacheLRUEviction(t *testing.T) {
+	entrySize := mkResult("kX", 1000).size() // all entries below are equal-sized
+	c := NewCache(3 * entrySize)             // room for exactly 3
+
+	for i := 0; i < 3; i++ {
+		c.Put(mkResult(fmt.Sprintf("k%d", i), 1000))
+	}
+	if st := c.Stats(); st.Entries != 3 || st.Evictions != 0 {
+		t.Fatalf("after 3 puts: %+v", st)
+	}
+	// Touch k0 so k1 becomes the LRU victim.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.Put(mkResult("k3", 1000))
+	if _, ok := c.Get("k1"); ok {
+		t.Error("k1 should have been evicted (LRU)")
+	}
+	for _, want := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(want); !ok {
+			t.Errorf("%s should have survived", want)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Bytes > st.MaxBytes {
+		t.Errorf("bytes %d exceeds bound %d", st.Bytes, st.MaxBytes)
+	}
+}
+
+// TestCacheMemoryBound holds the byte bound under a large randomized-ish
+// workload with mixed entry sizes.
+func TestCacheMemoryBound(t *testing.T) {
+	c := NewCache(64 << 10)
+	for i := 0; i < 500; i++ {
+		c.Put(mkResult(fmt.Sprintf("k%d", i), 100*(i%37)))
+		if st := c.Stats(); st.Bytes > st.MaxBytes {
+			t.Fatalf("put %d: bytes %d exceeds bound %d", i, st.Bytes, st.MaxBytes)
+		}
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Error("expected evictions under a 64KiB bound")
+	}
+}
+
+// TestCacheOversizedEntry: an entry larger than the whole bound is not
+// stored and does not evict everything else.
+func TestCacheOversizedEntry(t *testing.T) {
+	c := NewCache(4 << 10)
+	c.Put(mkResult("small", 100))
+	c.Put(mkResult("huge", 1<<20))
+	if _, ok := c.Get("huge"); ok {
+		t.Error("oversized entry should not be cached")
+	}
+	if _, ok := c.Get("small"); !ok {
+		t.Error("small entry should have survived the oversized put")
+	}
+}
+
+// TestCacheDuplicatePut: re-putting an existing key refreshes recency
+// without double-counting bytes (deterministic results make the value
+// identical by construction).
+func TestCacheDuplicatePut(t *testing.T) {
+	c := NewCache(1 << 20)
+	c.Put(mkResult("k", 1000))
+	before := c.Stats().Bytes
+	c.Put(mkResult("k", 1000))
+	st := c.Stats()
+	if st.Bytes != before || st.Entries != 1 {
+		t.Errorf("duplicate put changed occupancy: %+v (bytes before %d)", st, before)
+	}
+}
+
+// TestCacheConcurrent hammers the cache from many goroutines; run under
+// -race this checks the locking discipline.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(32 << 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i)%50)
+				if _, ok := c.Get(key); !ok {
+					c.Put(mkResult(key, 200))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Bytes > st.MaxBytes {
+		t.Errorf("bytes %d exceeds bound %d", st.Bytes, st.MaxBytes)
+	}
+}

@@ -1,0 +1,266 @@
+package server
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+
+	"warpsched/internal/analysis"
+	"warpsched/internal/config"
+	"warpsched/internal/exp"
+	"warpsched/internal/isa"
+	"warpsched/internal/kernels"
+	"warpsched/internal/sim"
+)
+
+// JobConfig is the wire form of a job's simulation configuration. Every
+// field here changes simulation results and therefore the cache key;
+// execution-strategy knobs (worker count, SM sharding, fast-forward) are
+// deliberately server-wide options instead, matching the manifest-hash
+// rule that `-j`/`-shards`/`-no-ff` never key results.
+type JobConfig struct {
+	// GPU selects the machine: "fermi" (GTX480, default) or "pascal"
+	// (GTX1080Ti).
+	GPU string `json:"gpu,omitempty"`
+	// SMs scales the machine down to this many SMs (0 = full machine).
+	SMs int `json:"sms,omitempty"`
+	// Sched is the baseline scheduler: LRR, GTO (default) or CAWA.
+	Sched string `json:"sched,omitempty"`
+	// BOWS selects the back-off mode: "off" (default), "ddos" or "static".
+	BOWS string `json:"bows,omitempty"`
+	// Delay, when non-nil, fixes the back-off delay limit in cycles
+	// instead of the adaptive controller (ignored when BOWS is off).
+	Delay *int64 `json:"delay,omitempty"`
+	// Hash is the DDOS hashing function: "XOR" (default) or "MODULO".
+	Hash string `json:"hash,omitempty"`
+	// MaxCycles is the watchdog budget for this job. Zero uses the server
+	// ceiling; values above the ceiling are rejected at admission.
+	MaxCycles int64 `json:"max_cycles,omitempty"`
+	// Quick selects the reduced-size variant of a registered kernel (the
+	// sizes the test suites and the golden gate run).
+	Quick bool `json:"quick,omitempty"`
+}
+
+// JobRequest is the body of POST /v1/jobs: either a registered kernel
+// name or an inline ISA program, plus the simulation configuration.
+type JobRequest struct {
+	// Kernel names a registered benchmark kernel (see cmd/warpsim -list).
+	// Mutually exclusive with Source.
+	Kernel string `json:"kernel,omitempty"`
+	// Source is an inline ISA program (the assembly dialect of
+	// internal/isa). Inline programs carry no functional verifier; the
+	// launch geometry below is required.
+	Source string `json:"source,omitempty"`
+	// Name labels an inline program (default "inline").
+	Name string `json:"name,omitempty"`
+	// GridCTAs, CTAThreads, MemWords and Params are the launch geometry
+	// for inline programs (ignored for registered kernels, whose
+	// registration fixes them).
+	GridCTAs   int      `json:"grid_ctas,omitempty"`
+	CTAThreads int      `json:"cta_threads,omitempty"`
+	MemWords   int      `json:"mem_words,omitempty"`
+	Params     []uint32 `json:"params,omitempty"`
+	// Config tunes the simulation; the zero value is GTO on the full
+	// Fermi machine with BOWS off.
+	Config JobConfig `json:"config"`
+	// Wait makes the POST synchronous: the response carries the finished
+	// job. Without it the response returns immediately with the job id
+	// for polling.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// RequestError is an admission failure: a malformed or invalid job that
+// was never enqueued. Status is the HTTP status the handler maps it to.
+type RequestError struct {
+	Status int
+	Msg    string
+	// Findings carries the static-analysis diagnostics when admission
+	// rejected the program (HTTP 422).
+	Findings []analysis.Finding
+}
+
+// Error returns the admission failure message.
+func (e *RequestError) Error() string { return e.Msg }
+
+func badRequest(format string, args ...any) *RequestError {
+	return &RequestError{Status: 400, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Resolve validates the request and builds the runnable spec. The
+// returned spec is fully determined: GPU.MaxCycles carries the admitted
+// watchdog budget so it participates in the variant hash. Unset options
+// take their documented defaults, so a zero Options resolves exactly
+// like a default server admits.
+func (o Options) Resolve(req *JobRequest) (exp.Spec, *RequestError) {
+	o = o.withDefaults()
+	var s exp.Spec
+
+	k, rerr := o.resolveKernel(req)
+	if rerr != nil {
+		return s, rerr
+	}
+	// Admission-time static analysis: reject programs whose CFG,
+	// dataflow or sync discipline is broken before they can occupy a
+	// worker. Only inline submissions need it — registered kernels pass
+	// by construction (warplint gates them in CI) and skipping them
+	// keeps the admission path fast enough for cache-hit traffic.
+	if req.Source != "" {
+		if rep := analysis.Analyze(k.Launch.Prog); !rep.Clean() {
+			return s, &RequestError{Status: 422,
+				Msg:      fmt.Sprintf("program %s failed static analysis (%d findings)", k.Name, len(rep.Findings)),
+				Findings: rep.Findings}
+		}
+	}
+	s.Kernel = k
+
+	switch strings.ToLower(req.Config.GPU) {
+	case "", "fermi", "gtx480":
+		s.GPU = config.GTX480()
+	case "pascal", "gtx1080ti":
+		s.GPU = config.GTX1080Ti()
+	default:
+		return s, badRequest("unknown gpu %q (want fermi or pascal)", req.Config.GPU)
+	}
+	if req.Config.SMs < 0 {
+		return s, badRequest("sms must be non-negative")
+	}
+	if req.Config.SMs > 0 {
+		s.GPU = s.GPU.Scaled(req.Config.SMs)
+	}
+
+	switch kind := config.SchedulerKind(strings.ToUpper(req.Config.Sched)); kind {
+	case "":
+		s.Sched = config.GTO
+	case config.LRR, config.GTO, config.CAWA:
+		s.Sched = kind
+	default:
+		return s, badRequest("unknown scheduler %q (want LRR, GTO or CAWA)", req.Config.Sched)
+	}
+
+	switch strings.ToLower(req.Config.BOWS) {
+	case "", "off":
+		s.BOWS = config.BOWS{Mode: config.BOWSOff}
+	case "ddos":
+		s.BOWS = config.DefaultBOWS()
+	case "static":
+		s.BOWS = config.DefaultBOWS()
+		s.BOWS.Mode = config.BOWSStatic
+	default:
+		return s, badRequest("unknown bows mode %q (want off, ddos or static)", req.Config.BOWS)
+	}
+	if req.Config.Delay != nil && s.BOWS.Mode != config.BOWSOff {
+		if *req.Config.Delay < 0 {
+			return s, badRequest("delay must be non-negative")
+		}
+		mode := s.BOWS.Mode
+		s.BOWS = config.FixedBOWS(*req.Config.Delay)
+		s.BOWS.Mode = mode
+	}
+
+	s.DDOS = config.DefaultDDOS()
+	switch strings.ToUpper(req.Config.Hash) {
+	case "", "XOR":
+	case "MODULO":
+		s.DDOS.Hash = "MODULO"
+	default:
+		return s, badRequest("unknown ddos hash %q (want XOR or MODULO)", req.Config.Hash)
+	}
+
+	max := req.Config.MaxCycles
+	switch {
+	case max < 0:
+		return s, badRequest("max_cycles must be non-negative")
+	case max == 0:
+		max = o.MaxJobCycles
+	case max > o.MaxJobCycles:
+		return s, badRequest("max_cycles %d exceeds the server ceiling %d", max, o.MaxJobCycles)
+	}
+	// The budget is part of the result (a watchdog abort at 1M cycles is
+	// a different outcome than one at 10M), so it must key the cache:
+	// store it in the GPU config, which the variant hash covers.
+	s.GPU.MaxCycles = max
+	s.MaxCycles = max
+	return s, nil
+}
+
+// kernelCache memoizes registered-kernel construction ("name|quick"
+// → *kernels.Kernel). The registry is static and kernels are immutable
+// once built (the experiment harness already shares one kernel across
+// concurrent runs), so one instance can serve every admission — this
+// keeps the hot admission path at microseconds instead of rebuilding
+// the whole suite per request.
+var kernelCache sync.Map
+
+// resolveKernel maps the request to a program: a registered kernel
+// (full-size or, with config.quick, the reduced test-suite variant) or a
+// parsed inline program with caller-supplied launch geometry.
+func (o Options) resolveKernel(req *JobRequest) (*kernels.Kernel, *RequestError) {
+	switch {
+	case req.Kernel != "" && req.Source != "":
+		return nil, badRequest("kernel and source are mutually exclusive")
+	case req.Kernel != "":
+		ck := fmt.Sprintf("%s|%v", req.Kernel, req.Config.Quick)
+		if k, ok := kernelCache.Load(ck); ok {
+			return k.(*kernels.Kernel), nil
+		}
+		if req.Config.Quick {
+			for _, k := range append(kernels.QuickSyncSuite(), kernels.QuickSyncFreeSuite()...) {
+				if k.Name == req.Kernel {
+					kernelCache.Store(ck, k)
+					return k, nil
+				}
+			}
+			return nil, badRequest("unknown quick kernel %q", req.Kernel)
+		}
+		k, err := kernels.ByName(req.Kernel)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		kernelCache.Store(ck, k)
+		return k, nil
+	case req.Source != "":
+		name := req.Name
+		if name == "" {
+			name = "inline"
+		}
+		prog, err := isa.Parse(name, req.Source)
+		if err != nil {
+			return nil, badRequest("parse inline program: %v", err)
+		}
+		switch {
+		case req.GridCTAs <= 0 || req.CTAThreads <= 0:
+			return nil, badRequest("inline programs need positive grid_ctas and cta_threads")
+		case req.MemWords <= 0:
+			return nil, badRequest("inline programs need positive mem_words")
+		case req.MemWords > o.MaxMemWords:
+			return nil, badRequest("mem_words %d exceeds the server ceiling %d", req.MemWords, o.MaxMemWords)
+		}
+		return &kernels.Kernel{
+			Name:  name,
+			Class: kernels.ClassSync,
+			Desc:  "inline submission",
+			Launch: sim.Launch{Prog: prog, GridCTAs: req.GridCTAs,
+				CTAThreads: req.CTAThreads, MemWords: req.MemWords,
+				Params: req.Params},
+		}, nil
+	default:
+		return nil, badRequest("request needs a kernel name or inline source")
+	}
+}
+
+// CacheKey is the content address of a spec's result:
+// FNV-1a over the program's canonical assembly text (so two routes to
+// the same instruction stream share results, and any instruction change
+// misses), the variant hash over the full configuration (machine
+// including the admitted MaxCycles budget, scheduler, BOWS, DDOS, launch
+// geometry and parameters — see exp.VariantHash), and the engine's
+// semantic version (sim.Version, bumped whenever results can change).
+// Deterministic simulation makes this sound: equal key ⇒ byte-equal
+// result manifest, with no expiry policy needed beyond LRU memory
+// pressure.
+func CacheKey(s exp.Spec) string {
+	h := fnv.New64a()
+	h.Write([]byte(s.Kernel.Launch.Prog.Assembly()))
+	return fmt.Sprintf("%016x-%s-v%d", h.Sum64(), exp.VariantHash(s), sim.Version)
+}

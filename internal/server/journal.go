@@ -1,0 +1,158 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// journalLine is one JSONL record in the server's recovery journal:
+// an admitted job (with its full request, so it can be resubmitted) or
+// a completion marker. On restart, admits without a matching done are
+// the jobs that were queued or running when the server died, and they
+// are re-enqueued before the listener comes up.
+type journalLine struct {
+	Admit *journalAdmit `json:"admit,omitempty"`
+	Done  string        `json:"done,omitempty"`
+}
+
+type journalAdmit struct {
+	ID  string      `json:"id"`
+	Req *JobRequest `json:"req"`
+}
+
+// journal is an append-only JSONL file of job admissions and
+// completions. Appends are serialized and flushed line-at-a-time, so a
+// crash loses at most the final, possibly torn, line — which recovery
+// tolerates (the matching job is simply re-run; determinism makes the
+// re-run identical).
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+// openJournal opens (creating if needed) the journal at path and
+// returns it plus the admitted-but-unfinished jobs from any previous
+// incarnation, in admission order, and the highest numeric job id seen
+// anywhere in the file (admits and done markers both count, so restarts
+// never reuse the id of an already-finished job). A torn final line is
+// discarded; corruption earlier in the file is an error (the file is
+// not the one this server wrote).
+func openJournal(path string) (*journal, []journalAdmit, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, 0, err
+	}
+	var pending []journalAdmit
+	var maxID int64
+	seen := func(id string) {
+		var n int64
+		if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n > maxID {
+			maxID = n
+		}
+	}
+	doneIdx := make(map[string]bool)
+	valid := int64(len(data)) // length of the well-formed prefix
+	if len(data) > 0 {
+		lines, starts := splitLines(data)
+		for i, line := range lines {
+			if len(line) == 0 {
+				continue
+			}
+			var jl journalLine
+			if jerr := json.Unmarshal(line, &jl); jerr != nil {
+				if i == len(lines)-1 {
+					// Torn final line from a crash mid-append: discard it
+					// (and truncate it below, so new appends do not fuse
+					// with the fragment into a corrupt line).
+					valid = int64(starts[i])
+					break
+				}
+				return nil, nil, 0, fmt.Errorf("server: journal %s: line %d corrupt: %v", path, i+1, jerr)
+			}
+			switch {
+			case jl.Admit != nil:
+				pending = append(pending, *jl.Admit)
+				seen(jl.Admit.ID)
+			case jl.Done != "":
+				doneIdx[jl.Done] = true
+				seen(jl.Done)
+			}
+		}
+	}
+	unfinished := pending[:0]
+	for _, a := range pending {
+		if !doneIdx[a.ID] {
+			unfinished = append(unfinished, a)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if valid < int64(len(data)) {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("server: journal %s: drop torn line: %w", path, err)
+		}
+	}
+	return &journal{f: f, w: bufio.NewWriter(f)}, unfinished, maxID, nil
+}
+
+// splitLines splits data on '\n' and also returns each line's starting
+// byte offset (so a torn final line can be truncated away).
+func splitLines(data []byte) (lines [][]byte, starts []int) {
+	start := 0
+	for i, b := range data {
+		if b == '\n' {
+			lines = append(lines, data[start:i])
+			starts = append(starts, start)
+			start = i + 1
+		}
+	}
+	if start < len(data) {
+		lines = append(lines, data[start:])
+		starts = append(starts, start)
+	}
+	return lines, starts
+}
+
+func (j *journal) append(jl journalLine) error {
+	data, err := json.Marshal(jl)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.w.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	return j.w.Flush()
+}
+
+// admit journals a job admission before it is enqueued, so a crash
+// between admission and completion leaves a recoverable record.
+func (j *journal) admit(id string, req *JobRequest) error {
+	return j.append(journalLine{Admit: &journalAdmit{ID: id, Req: req}})
+}
+
+// done journals a job completion. Results themselves live in the cache,
+// not the journal — on recovery the job is re-run (deterministically)
+// rather than restored.
+func (j *journal) done(id string) error {
+	return j.append(journalLine{Done: id})
+}
+
+// Close flushes and closes the journal file.
+func (j *journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

@@ -1,0 +1,511 @@
+// Package server is warpsimd's core: a simulation-as-a-service job
+// server over the deterministic engine. Jobs (registered kernels or
+// inline ISA programs, plus a configuration) are validated with
+// internal/analysis at admission, run on a bounded worker pool through
+// internal/exp's guarded runner, and their results stored in a
+// content-addressed LRU cache keyed by (program FNV, config hash,
+// sim.Version) — so repeated submissions, the common case under heavy
+// traffic, return instantly and byte-identically. Concurrent identical
+// submissions collapse to one engine run (single-flight), a bounded
+// queue sheds load with 429, and an append-only journal makes queued
+// and running jobs recoverable across restarts.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"warpsched/internal/exp"
+	"warpsched/internal/metrics"
+	"warpsched/internal/sim"
+)
+
+// Options configures a Server. The zero value is usable: New fills
+// every unset field with the documented default.
+type Options struct {
+	// Workers bounds the pool of goroutines running simulations
+	// (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue; submissions beyond it are
+	// rejected with HTTP 429 (default 64).
+	QueueDepth int
+	// CacheBytes bounds the result cache's memory footprint
+	// (default 256 MiB).
+	CacheBytes int64
+	// MaxJobCycles is the per-job watchdog ceiling: the default budget
+	// for jobs that do not set max_cycles, and the upper bound for those
+	// that do (default 10M cycles, the experiment harness's clamp).
+	MaxJobCycles int64
+	// MaxMemWords bounds inline programs' memory size (default 4M words
+	// = 16 MiB per running job).
+	MaxMemWords int
+	// Retries bounds re-runs of panicked simulations, as in exp.Cfg
+	// (default 1).
+	Retries int
+	// Shards and NoFastForward tune engine execution strategy for every
+	// job. Neither affects results, so neither participates in cache
+	// keys — the same rule that keeps them out of manifest hashes.
+	Shards        int
+	NoFastForward bool
+	// Check arms the runtime invariant checker and early hang aborts on
+	// every job.
+	Check bool
+	// Journal, when non-empty, is the path of the append-only recovery
+	// journal: admitted jobs are logged before they run and marked done
+	// after, and on startup unfinished entries are re-enqueued.
+	Journal string
+	// Log, when non-nil, receives one line per notable server event.
+	Log func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = 256 << 20
+	}
+	if o.MaxJobCycles <= 0 {
+		o.MaxJobCycles = 10_000_000
+	}
+	if o.MaxMemWords <= 0 {
+		o.MaxMemWords = 4 << 20
+	}
+	if o.Retries <= 0 {
+		o.Retries = 1
+	}
+	return o
+}
+
+// jobState is a job's lifecycle position.
+type jobState string
+
+const (
+	stateQueued  jobState = "queued"
+	stateRunning jobState = "running"
+	stateDone    jobState = "done"
+)
+
+// job is one admitted submission. Identical concurrent submissions
+// share a single job (single-flight): ids lists every journaled id the
+// job answers for.
+type job struct {
+	ids      []string
+	key      string
+	spec     exp.Spec
+	state    jobState // guarded by Server.mu
+	cached   bool     // result came from the cache, no engine run
+	progress atomic.Int64
+	admitted time.Time
+	result   *CachedResult // set before done is closed
+	done     chan struct{}
+}
+
+// Server is the warpsimd daemon core. Create with New, expose via
+// Handler, stop with Shutdown.
+type Server struct {
+	opt   Options
+	cache *Cache
+	jour  *journal
+
+	mu     sync.Mutex
+	jobs   map[string]*job // every admitted job, by id
+	byKey  map[string]*job // queued/running jobs, by cache key (single-flight)
+	nextID int64
+	queue  chan *job
+	drain  bool
+
+	wg      sync.WaitGroup
+	start   time.Time
+	running atomic.Int64
+
+	latMu   sync.Mutex
+	latency *metrics.Histogram
+
+	admitted, completed, failed, deduped   atomic.Int64
+	rejectedFull, rejectedInvalid, engRuns atomic.Int64
+	recovered                              atomic.Int64
+}
+
+// latencyBounds is a 1-2-5 log series from 100µs to 1000s, the bucket
+// layout of the end-to-end job latency histogram (p50/p99 resolution
+// within one series step).
+func latencyBounds() []int64 {
+	var out []int64
+	for base := int64(100); base <= 100_000_000; base *= 10 {
+		out = append(out, base, 2*base, 5*base)
+	}
+	return append(out, 1_000_000_000)
+}
+
+// New builds a server, replays the recovery journal (re-enqueueing jobs
+// that were admitted but unfinished when the previous incarnation
+// died), and starts the worker pool.
+func New(opt Options) (*Server, error) {
+	opt = opt.withDefaults()
+	s := &Server{
+		opt:   opt,
+		cache: NewCache(opt.CacheBytes),
+		jobs:  make(map[string]*job),
+		byKey: make(map[string]*job),
+		start: time.Now(),
+	}
+	reg := metrics.NewRegistry()
+	s.latency = reg.Histogram("server.latency_us", latencyBounds())
+
+	var pending []journalAdmit
+	if opt.Journal != "" {
+		var err error
+		s.jour, pending, s.nextID, err = openJournal(opt.Journal)
+		if err != nil {
+			return nil, fmt.Errorf("server: open journal: %w", err)
+		}
+	}
+	// Size the queue to hold every recovered job on top of the normal
+	// bound, so replay can never trip the 429 path.
+	s.queue = make(chan *job, opt.QueueDepth+len(pending))
+	for _, a := range pending {
+		s.recover(a)
+	}
+	for i := 0; i < opt.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// recover re-admits one journaled job under its original id. Requests
+// that no longer validate (e.g. a ceiling was lowered) are dropped with
+// a done marker so they stop reappearing.
+func (s *Server) recover(a journalAdmit) {
+	spec, rerr := s.opt.Resolve(a.Req)
+	if rerr != nil {
+		s.logf("journal: dropping unrecoverable job %s: %v", a.ID, rerr)
+		s.journalDone(a.ID)
+		return
+	}
+	key := CacheKey(spec)
+	if dup, ok := s.byKey[key]; ok {
+		// Two unfinished admits of the same configuration: attach the id
+		// to the earlier job and mark this admit resolved.
+		dup.ids = append(dup.ids, a.ID)
+		s.jobs[a.ID] = dup
+		s.journalDone(a.ID)
+		return
+	}
+	j := &job{ids: []string{a.ID}, key: key, spec: spec, state: stateQueued,
+		admitted: time.Now(), done: make(chan struct{})}
+	j.spec.Progress = &j.progress
+	s.jobs[a.ID] = j
+	s.byKey[key] = j
+	s.queue <- j
+	s.recovered.Add(1)
+	s.logf("journal: recovered job %s (%s)", a.ID, key)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opt.Log != nil {
+		s.opt.Log(format, args...)
+	}
+}
+
+// cfg is the exp harness configuration a worker runs one job under:
+// serial in-place execution (the server owns the pool), with the
+// runner's panic barrier and bounded retries.
+func (s *Server) cfg() exp.Cfg {
+	return exp.Cfg{Jobs: 1, Retries: s.opt.Retries, Shards: s.opt.Shards,
+		NoFastForward: s.opt.NoFastForward, Check: s.opt.Check}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one queued job (or resolves it from the cache — the
+// recovery path can enqueue a key that a later run already filled),
+// stores the result, and wakes every waiter.
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	j.state = stateRunning
+	s.mu.Unlock()
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	res, ok := s.cache.Get(j.key)
+	cached := ok
+	if !ok {
+		s.engRuns.Add(1)
+		out := s.cfg().Execute([]exp.Spec{j.spec})[0]
+		res = buildResult(j.key, j.spec, out)
+		s.cache.Put(res)
+	}
+
+	s.mu.Lock()
+	j.result = res
+	j.cached = cached
+	j.state = stateDone
+	delete(s.byKey, j.key)
+	s.mu.Unlock()
+	close(j.done)
+
+	s.completed.Add(1)
+	if res.Err != "" {
+		s.failed.Add(1)
+	}
+	us := time.Since(j.admitted).Microseconds()
+	s.latMu.Lock()
+	s.latency.Observe(us)
+	s.latMu.Unlock()
+	for _, id := range j.ids {
+		s.journalDone(id)
+	}
+	s.logf("job %s done: %s cycles=%d err=%q (%.1f ms)",
+		j.ids[0], j.key, res.Cycles, res.Err, float64(us)/1e3)
+}
+
+func (s *Server) journalDone(id string) {
+	if s.jour == nil {
+		return
+	}
+	if err := s.jour.done(id); err != nil {
+		s.logf("journal: done %s: %v", id, err)
+	}
+}
+
+// Shutdown drains the server: admission stops (503), queued and running
+// jobs finish, then the journal closes. A journal-backed server killed
+// before the drain completes recovers the unfinished jobs on next
+// start. Returns ctx.Err when the deadline expires first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.drain {
+		s.mu.Unlock()
+		return nil
+	}
+	s.drain = true
+	close(s.queue) // all sends happen under mu with drain false
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if s.jour != nil {
+		return s.jour.Close()
+	}
+	return nil
+}
+
+// Submit admits one job: validation, cache lookup, single-flight
+// attach, or enqueue. It returns the job (possibly already done, on a
+// cache hit) or a *RequestError carrying the HTTP status.
+func (s *Server) Submit(req *JobRequest) (*job, *RequestError) {
+	spec, rerr := s.opt.Resolve(req)
+	if rerr != nil {
+		s.rejectedInvalid.Add(1)
+		return nil, rerr
+	}
+	key := CacheKey(spec)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.drain {
+		return nil, &RequestError{Status: http.StatusServiceUnavailable, Msg: "server is draining"}
+	}
+	if res, ok := s.cache.Get(key); ok {
+		// Admission-time hit: the job is born finished; no queue slot, no
+		// journal entry, no engine run.
+		id := s.newID()
+		j := &job{ids: []string{id}, key: key, spec: spec, state: stateDone,
+			cached: true, admitted: time.Now(), result: res,
+			done: make(chan struct{})}
+		close(j.done)
+		s.jobs[id] = j
+		s.admitted.Add(1)
+		return j, nil
+	}
+	if inflight, ok := s.byKey[key]; ok {
+		// Single-flight: an identical job is already queued or running;
+		// this submission shares it (same id, one engine run).
+		s.deduped.Add(1)
+		return inflight, nil
+	}
+	if len(s.queue) >= s.opt.QueueDepth {
+		s.rejectedFull.Add(1)
+		return nil, &RequestError{Status: http.StatusTooManyRequests,
+			Msg: fmt.Sprintf("queue full (%d jobs)", s.opt.QueueDepth)}
+	}
+	id := s.newID()
+	j := &job{ids: []string{id}, key: key, spec: spec, state: stateQueued,
+		admitted: time.Now(), done: make(chan struct{})}
+	j.spec.Progress = &j.progress
+	s.jobs[id] = j
+	s.byKey[key] = j
+	if s.jour != nil {
+		if err := s.jour.admit(id, req); err != nil {
+			delete(s.jobs, id)
+			delete(s.byKey, key)
+			return nil, &RequestError{Status: http.StatusInternalServerError,
+				Msg: fmt.Sprintf("journal write failed: %v", err)}
+		}
+	}
+	s.queue <- j // cannot block: length checked under mu, workers only drain
+	s.admitted.Add(1)
+	return j, nil
+}
+
+func (s *Server) newID() string {
+	s.nextID++
+	return fmt.Sprintf("j%d", s.nextID)
+}
+
+// Job returns the admitted job with the given id, if any.
+func (s *Server) Job(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Result returns the cached result at the given content address.
+func (s *Server) Result(key string) (*CachedResult, bool) {
+	return s.cache.Get(key)
+}
+
+// Stats is the GET /v1/stats payload.
+type Stats struct {
+	// UptimeS is seconds since the server started.
+	UptimeS float64 `json:"uptime_s"`
+	// Workers is the pool size; Running how many are mid-simulation.
+	Workers int   `json:"workers"`
+	Running int64 `json:"running"`
+	// QueueDepth/QueueCapacity describe the admission queue.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	// Jobs counts admissions and outcomes since start.
+	Jobs JobStats `json:"jobs"`
+	// Cache is the result cache's occupancy and hit statistics.
+	Cache CacheStats `json:"cache"`
+	// LatencyUS summarizes end-to-end job latency (admission to result,
+	// engine runs and queueing included; admission-time cache hits are
+	// not observed here — they never enter the queue).
+	LatencyUS LatencyStats `json:"latency_us"`
+}
+
+// JobStats counts job lifecycle events since server start.
+type JobStats struct {
+	// Admitted jobs entered the system (including admission-time cache
+	// hits); Deduped submissions attached to an in-flight identical job.
+	Admitted int64 `json:"admitted"`
+	Deduped  int64 `json:"deduped"`
+	// Completed jobs finished (Failed of them with a simulation error).
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	// EngineRuns counts actual simulations — the cache and single-flight
+	// savings are Admitted+Deduped-EngineRuns.
+	EngineRuns int64 `json:"engine_runs"`
+	// Recovered jobs were replayed from the journal at startup.
+	Recovered int64 `json:"recovered"`
+	// RejectedQueueFull and RejectedInvalid were turned away at
+	// admission (HTTP 429 and 400/422 respectively).
+	RejectedQueueFull int64 `json:"rejected_queue_full"`
+	RejectedInvalid   int64 `json:"rejected_invalid"`
+}
+
+// LatencyStats summarizes the job latency histogram in microseconds.
+type LatencyStats struct {
+	// Count is the number of completed (non-admission-hit) jobs.
+	Count int64 `json:"count"`
+	// P50 and P99 are bucketed upper-bound estimates; Max is exact.
+	P50 int64 `json:"p50"`
+	P99 int64 `json:"p99"`
+	Max int64 `json:"max"`
+	// MeanUS is the exact arithmetic mean.
+	MeanUS float64 `json:"mean"`
+}
+
+// Stats returns a point-in-time snapshot of server health.
+func (s *Server) Stats() Stats {
+	s.latMu.Lock()
+	lat := LatencyStats{Count: s.latency.Count(),
+		P50: s.latency.Quantile(0.50), P99: s.latency.Quantile(0.99),
+		Max: s.latency.Quantile(1.0)}
+	if lat.Count > 0 {
+		lat.MeanUS = float64(s.latency.Sum()) / float64(lat.Count)
+	}
+	s.latMu.Unlock()
+	return Stats{
+		UptimeS:       time.Since(s.start).Seconds(),
+		Workers:       s.opt.Workers,
+		Running:       s.running.Load(),
+		QueueDepth:    len(s.queue),
+		QueueCapacity: s.opt.QueueDepth,
+		Jobs: JobStats{
+			Admitted: s.admitted.Load(), Deduped: s.deduped.Load(),
+			Completed: s.completed.Load(), Failed: s.failed.Load(),
+			EngineRuns: s.engRuns.Load(), Recovered: s.recovered.Load(),
+			RejectedQueueFull: s.rejectedFull.Load(),
+			RejectedInvalid:   s.rejectedInvalid.Load(),
+		},
+		Cache:     s.cache.Stats(),
+		LatencyUS: lat,
+	}
+}
+
+// buildResult renders one outcome into its cacheable form: headline
+// cycles/error plus the full schema-2 manifest (per-SM counter
+// resolution, like cmd/warpsim -stats-json) serialized once so every
+// future hit serves identical bytes.
+func buildResult(key string, spec exp.Spec, out exp.Outcome) *CachedResult {
+	r := &CachedResult{Key: key}
+	if out.Err != nil {
+		r.Err = out.Err.Error()
+	}
+	m := metrics.NewManifest("warpsimd", map[string]any{
+		"kernel": spec.Kernel.Name, "gpu": spec.GPU.Name,
+		"sched": string(spec.Sched), "bows": spec.BOWS.Desc(),
+		"ddos": spec.DDOS.Desc(), "max_cycles": spec.MaxCycles,
+		"sim_version": sim.Version, "cache_key": key,
+	})
+	rec := metrics.RunRecord{
+		Kernel: spec.Kernel.Name, GPU: spec.GPU.Name,
+		Sched: string(spec.Sched), BOWS: spec.BOWS.Desc(),
+		DDOS: spec.DDOS.Desc(), Variant: exp.VariantHash(spec),
+		Err: r.Err,
+	}
+	if res := out.Res; res != nil {
+		r.Cycles = res.Stats.Cycles
+		rec.Cycles = res.Stats.Cycles
+		if res.Metrics != nil {
+			rec.Counters = res.Metrics.Counters
+			rec.Derived = res.Metrics.Gauges
+		}
+	}
+	// Add cannot fail on a fresh manifest's first record; a marshal
+	// failure would be a programming error in the metrics layer.
+	if err := m.Add(rec); err != nil {
+		panic(fmt.Sprintf("server: manifest add: %v", err))
+	}
+	m.Sort()
+	data, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		panic(fmt.Sprintf("server: manifest marshal: %v", err))
+	}
+	r.Manifest = append(data, '\n')
+	return r
+}

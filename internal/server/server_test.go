@@ -1,0 +1,556 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"warpsched/internal/metrics"
+)
+
+// fastIters/slowIters pick loop lengths for testSrc: fastIters finishes
+// in well under a second; slowIters runs long enough (hundreds of ms)
+// that a test can observe the job mid-flight.
+const (
+	fastIters = 1000
+	slowIters = 100_000
+)
+
+func newTestServer(t *testing.T, opt Options) *Server {
+	t.Helper()
+	s, err := New(opt)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+	return s
+}
+
+func postJob(t *testing.T, base string, req *JobRequest) (JobStatus, int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	var st JobStatus
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatalf("decode %s: %v", data, err)
+		}
+	}
+	return st, resp.StatusCode, data
+}
+
+func getBytes(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, data
+}
+
+// TestEndToEnd drives the full HTTP surface: a synchronous submission
+// runs the engine; resubmitting the identical job is a cache hit that
+// runs nothing and serves byte-identical result bytes.
+func TestEndToEnd(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := inlineReq(fastIters)
+	req.Wait = true
+	st, code, _ := postJob(t, ts.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("first POST: status %d", code)
+	}
+	if st.State != "done" || st.Cached || st.Cycles <= 0 || st.Key == "" || st.Err != "" {
+		t.Fatalf("first job: %+v", st)
+	}
+	t.Logf("loop with %d iters took %d cycles", fastIters, st.Cycles)
+
+	t0 := time.Now()
+	st2, code, _ := postJob(t, ts.URL, req)
+	hitLatency := time.Since(t0)
+	if code != http.StatusOK || !st2.Cached || st2.State != "done" {
+		t.Fatalf("second POST: status %d, %+v", code, st2)
+	}
+	if st2.Key != st.Key || st2.Cycles != st.Cycles {
+		t.Errorf("cache hit differs: %+v vs %+v", st2, st)
+	}
+	// The acceptance bar is sub-10ms; allow slack for loaded CI hosts
+	// while still catching an accidental engine re-run.
+	if hitLatency > 500*time.Millisecond {
+		t.Errorf("cache hit took %s", hitLatency)
+	}
+
+	code1, body1 := getBytes(t, ts.URL+"/v1/results/"+st.Key)
+	code2, body2 := getBytes(t, ts.URL+"/v1/results/"+st.Key)
+	if code1 != 200 || code2 != 200 {
+		t.Fatalf("GET results: %d, %d", code1, code2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Error("repeated result fetches are not byte-identical")
+	}
+	var m metrics.Manifest
+	if err := json.Unmarshal(body1, &m); err != nil {
+		t.Fatalf("result is not a manifest: %v", err)
+	}
+	if len(m.Runs) != 1 || m.Runs[0].Cycles != st.Cycles || m.Runs[0].Counters == nil {
+		t.Errorf("manifest runs: %+v", m.Runs)
+	}
+
+	_, code, _ = postJob(t, ts.URL, req) // third hit, then poll by id
+	if code != http.StatusOK {
+		t.Fatalf("third POST: %d", code)
+	}
+	code, data := getBytes(t, ts.URL+"/v1/jobs/"+st.ID)
+	if code != 200 {
+		t.Fatalf("GET job %s: %d (%s)", st.ID, code, data)
+	}
+
+	var stats Stats
+	if code, data := getBytes(t, ts.URL+"/v1/stats"); code != 200 {
+		t.Fatalf("GET stats: %d", code)
+	} else if err := json.Unmarshal(data, &stats); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if stats.Jobs.EngineRuns != 1 {
+		t.Errorf("engine runs = %d, want 1 (cache must absorb repeats)", stats.Jobs.EngineRuns)
+	}
+	if stats.Jobs.Admitted != 3 || stats.Cache.Hits < 2 {
+		t.Errorf("stats: %+v", stats.Jobs)
+	}
+
+	if code, _ := getBytes(t, ts.URL+"/v1/jobs/nope"); code != 404 {
+		t.Errorf("unknown job: %d, want 404", code)
+	}
+	if code, _ := getBytes(t, ts.URL+"/v1/results/nope"); code != 404 {
+		t.Errorf("unknown result: %d, want 404", code)
+	}
+	if code, _ := getBytes(t, ts.URL+"/healthz"); code != 200 {
+		t.Errorf("healthz: %d", code)
+	}
+}
+
+// TestAsyncSubmit polls an asynchronous submission to completion.
+func TestAsyncSubmit(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	st, code, _ := postJob(t, ts.URL, inlineReq(slowIters))
+	if code != http.StatusAccepted {
+		t.Fatalf("async POST: status %d, want 202", code)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for st.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not finish: %+v", st.ID, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+		code, data := getBytes(t, ts.URL+"/v1/jobs/"+st.ID)
+		if code != 200 {
+			t.Fatalf("poll: %d", code)
+		}
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatalf("poll decode: %v", err)
+		}
+	}
+	if st.Err != "" || st.Cycles <= 0 {
+		t.Fatalf("job failed: %+v", st)
+	}
+}
+
+// TestBadRequests covers the admission reject paths: malformed JSON,
+// unknown fields, invalid configuration, and — the 422 path — a program
+// that parses but fails static analysis.
+func TestBadRequests(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(body string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, data
+	}
+
+	if code, _ := post("{not json"); code != 400 {
+		t.Errorf("malformed JSON: %d, want 400", code)
+	}
+	if code, _ := post(`{"kernle": "HT"}`); code != 400 {
+		t.Errorf("unknown field: %d, want 400", code)
+	}
+	for name, req := range map[string]*JobRequest{
+		"no program":      {},
+		"both":            {Kernel: "HT", Source: testSrc},
+		"unknown kernel":  {Kernel: "NOPE"},
+		"unknown sched":   {Kernel: "HT", Config: JobConfig{Quick: true, Sched: "FIFO"}},
+		"unknown gpu":     {Kernel: "HT", Config: JobConfig{Quick: true, GPU: "volta"}},
+		"no geometry":     {Source: testSrc},
+		"huge max_cycles": {Kernel: "HT", Config: JobConfig{Quick: true, MaxCycles: 1 << 60}},
+		"parse error":     {Source: "frob %r1", GridCTAs: 1, CTAThreads: 32, MemWords: 64},
+	} {
+		body, _ := json.Marshal(req)
+		if code, data := post(string(body)); code != 400 {
+			t.Errorf("%s: %d (%s), want 400", name, code, data)
+		}
+	}
+
+	// Parses cleanly but reads an uninitialized register: static analysis
+	// must reject it at admission with findings, HTTP 422.
+	bad := &JobRequest{Source: "add %r1, %r2, 1\nexit\n",
+		GridCTAs: 1, CTAThreads: 32, MemWords: 64}
+	body, _ := json.Marshal(bad)
+	code, data := post(string(body))
+	if code != 422 {
+		t.Fatalf("analysis reject: %d (%s), want 422", code, data)
+	}
+	var eb struct {
+		Error    string            `json:"error"`
+		Findings []json.RawMessage `json:"findings"`
+	}
+	if err := json.Unmarshal(data, &eb); err != nil || len(eb.Findings) == 0 {
+		t.Errorf("422 body should carry findings: %s (%v)", data, err)
+	}
+	if st := s.Stats(); st.Jobs.RejectedInvalid == 0 {
+		t.Error("rejected_invalid not counted")
+	}
+}
+
+// TestSingleFlight submits the same job from many goroutines at once
+// and checks exactly one engine run happens, with every caller getting
+// the same result.
+func TestSingleFlight(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1})
+
+	const k = 8
+	var wg sync.WaitGroup
+	cycles := make([]int64, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, rerr := s.Submit(inlineReq(slowIters))
+			if rerr != nil {
+				t.Errorf("submit %d: %v", i, rerr)
+				return
+			}
+			<-j.done
+			cycles[i] = j.result.Cycles
+		}(i)
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Jobs.EngineRuns != 1 {
+		t.Errorf("engine runs = %d, want 1 (single-flight)", st.Jobs.EngineRuns)
+	}
+	if st.Jobs.Admitted+st.Jobs.Deduped != k {
+		t.Errorf("admitted %d + deduped %d != %d submissions", st.Jobs.Admitted, st.Jobs.Deduped, k)
+	}
+	for i := 1; i < k; i++ {
+		if cycles[i] != cycles[0] {
+			t.Fatalf("caller %d saw %d cycles, caller 0 saw %d", i, cycles[i], cycles[0])
+		}
+	}
+}
+
+// TestQueueFull: with one worker and a one-deep queue, a third distinct
+// job must be shed with 429 while the first runs and the second waits.
+func TestQueueFull(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1, QueueDepth: 1})
+
+	a, rerr := s.Submit(inlineReq(slowIters))
+	if rerr != nil {
+		t.Fatalf("submit a: %v", rerr)
+	}
+	// Wait until the worker has picked up job a, so the queue is empty.
+	deadline := time.Now().Add(time.Minute)
+	for s.Stats().Running == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("job a never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b, rerr := s.Submit(inlineReq(slowIters + 1))
+	if rerr != nil {
+		t.Fatalf("submit b: %v", rerr)
+	}
+	_, rerr = s.Submit(inlineReq(slowIters + 2))
+	if rerr == nil || rerr.Status != http.StatusTooManyRequests {
+		t.Fatalf("third submit: %v, want 429", rerr)
+	}
+	if st := s.Stats(); st.Jobs.RejectedQueueFull != 1 {
+		t.Errorf("rejected_queue_full = %d, want 1", st.Jobs.RejectedQueueFull)
+	}
+	<-a.done
+	<-b.done
+}
+
+// TestDrain: Shutdown finishes queued and running jobs, then admission
+// answers 503 and /healthz flips to draining.
+func TestDrain(t *testing.T) {
+	s, err := New(Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	a, rerr := s.Submit(inlineReq(slowIters))
+	if rerr != nil {
+		t.Fatalf("submit a: %v", rerr)
+	}
+	b, rerr := s.Submit(inlineReq(slowIters + 1))
+	if rerr != nil {
+		t.Fatalf("submit b: %v", rerr)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	for _, j := range []*job{a, b} {
+		select {
+		case <-j.done:
+		default:
+			t.Fatal("Shutdown returned with unfinished jobs")
+		}
+		if j.result == nil || j.result.Err != "" {
+			t.Errorf("drained job result: %+v", j.result)
+		}
+	}
+	if _, rerr := s.Submit(inlineReq(fastIters)); rerr == nil || rerr.Status != http.StatusServiceUnavailable {
+		t.Errorf("post-drain submit: %v, want 503", rerr)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: %d, want 503", rec.Code)
+	}
+	// Second Shutdown is a no-op, not a panic.
+	if err := s.Shutdown(ctx); err != nil {
+		t.Errorf("second Shutdown: %v", err)
+	}
+}
+
+// TestProgress observes live cycle counts on a running job via the
+// engine's progress hook.
+func TestProgress(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1})
+	j, rerr := s.Submit(inlineReq(3 * slowIters))
+	if rerr != nil {
+		t.Fatalf("submit: %v", rerr)
+	}
+	var sawLive int64
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		st := s.status(j)
+		if st.State == "running" && st.Cycles > 0 && sawLive == 0 {
+			sawLive = st.Cycles
+		}
+		if st.State == "done" {
+			if st.Err != "" {
+				t.Fatalf("job failed: %+v", st)
+			}
+			if sawLive == 0 {
+				t.Fatalf("never observed live progress before completion (final: %d cycles)", st.Cycles)
+			}
+			if sawLive > st.Cycles {
+				t.Errorf("live progress %d exceeds final cycle count %d", sawLive, st.Cycles)
+			}
+			t.Logf("live progress %d of %d final cycles", sawLive, st.Cycles)
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestJournalRecovery: jobs admitted but unfinished when a server dies
+// are re-run on the next start under their original ids; duplicate-key
+// admits collapse onto one job; a torn final line (crash mid-append) is
+// tolerated.
+func TestJournalRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+
+	write := func(jl journalLine) string {
+		data, err := json.Marshal(jl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data) + "\n"
+	}
+	var sb strings.Builder
+	sb.WriteString(write(journalLine{Admit: &journalAdmit{ID: "j3", Req: inlineReq(fastIters)}}))
+	sb.WriteString(write(journalLine{Admit: &journalAdmit{ID: "j4", Req: inlineReq(fastIters)}})) // same key as j3
+	sb.WriteString(write(journalLine{Admit: &journalAdmit{ID: "j5", Req: inlineReq(fastIters + 1)}}))
+	sb.WriteString(write(journalLine{Done: "j5"})) // j5 finished before the crash
+	sb.WriteString(`{"admit":{"id":"j9"`)          // torn final line
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := newTestServer(t, Options{Workers: 1, Journal: path, Log: t.Logf})
+	j3, ok := s.Job("j3")
+	if !ok {
+		t.Fatal("j3 not recovered")
+	}
+	j4, ok := s.Job("j4")
+	if !ok || j4 != j3 {
+		t.Fatalf("j4 should attach to j3's job (ok=%v, same=%v)", ok, j4 == j3)
+	}
+	if _, ok := s.Job("j5"); ok {
+		t.Error("finished job j5 should not be recovered")
+	}
+	select {
+	case <-j3.done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("recovered job never finished")
+	}
+	if j3.result == nil || j3.result.Err != "" || j3.cached {
+		t.Fatalf("recovered result: %+v", j3.result)
+	}
+	if _, ok := s.Result(j3.key); !ok {
+		t.Error("recovered job's result not cached")
+	}
+	if st := s.Stats(); st.Jobs.Recovered != 1 {
+		t.Errorf("recovered = %d, want 1 (duplicate admits collapse)", st.Jobs.Recovered)
+	}
+
+	// Recovery must advance the id counter past every journaled id.
+	j6, rerr := s.Submit(inlineReq(fastIters + 2))
+	if rerr != nil {
+		t.Fatalf("post-recovery submit: %v", rerr)
+	}
+	if j6.ids[0] != "j6" {
+		t.Errorf("next id = %s, want j6", j6.ids[0])
+	}
+	<-j6.done
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// After a clean drain, every admit has a matching done, and the max
+	// id covers both recovered and freshly-admitted jobs.
+	jour, unfinished, maxID, err := openJournal(path)
+	if err != nil {
+		t.Fatalf("reopen journal: %v", err)
+	}
+	jour.Close()
+	if len(unfinished) != 0 {
+		t.Errorf("unfinished after clean drain: %v", unfinished)
+	}
+	if maxID != 6 {
+		t.Errorf("journal max id = %d, want 6", maxID)
+	}
+}
+
+// TestJournalCorruption: damage before the final line means the file is
+// not one this server wrote — refuse to start rather than silently
+// dropping jobs.
+func TestJournalCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	content := "{\"admit\":{\"id\":\"j1\",\"req\":{\"kernel\":\"HT\"}}}\nGARBAGE\n{\"done\":\"j1\"}\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Options{Journal: path}); err == nil {
+		t.Fatal("New accepted a corrupt journal")
+	}
+}
+
+// TestUnrecoverableJobDropped: a journaled request that no longer
+// validates (here: a lowered cycle ceiling) is dropped with a done
+// marker instead of wedging recovery forever.
+func TestUnrecoverableJobDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	req := inlineReq(fastIters)
+	req.Config.MaxCycles = 5_000_000
+	data, err := json.Marshal(journalLine{Admit: &journalAdmit{ID: "j1", Req: req}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Options{Workers: 1, Journal: path, MaxJobCycles: 1_000_000})
+	if _, ok := s.Job("j1"); ok {
+		t.Error("invalid job should not be recovered")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, unfinished, _, err := openJournal(path); err != nil {
+		t.Fatalf("reopen: %v", err)
+	} else if len(unfinished) != 0 {
+		t.Errorf("dropped job still unfinished: %v", unfinished)
+	}
+}
+
+// TestRegisteredKernelJob runs a real registered kernel (quick HT)
+// through the service and sanity-checks the manifest config block.
+func TestRegisteredKernelJob(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := &JobRequest{Kernel: "HT", Wait: true,
+		Config: JobConfig{SMs: 2, Quick: true, Sched: "GTO"}}
+	st, code, _ := postJob(t, ts.URL, req)
+	if code != 200 || st.Err != "" || st.Cycles <= 0 {
+		t.Fatalf("HT job: code %d, %+v", code, st)
+	}
+	_, body := getBytes(t, ts.URL+"/v1/results/"+st.Key)
+	var m metrics.Manifest
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	if m.Config["cache_key"] != st.Key || m.Config["kernel"] != "HT" {
+		t.Errorf("manifest config: %+v", m.Config)
+	}
+	if fmt.Sprint(m.Config["sim_version"]) == "" {
+		t.Error("manifest missing sim_version")
+	}
+}

@@ -11,6 +11,7 @@ package sim
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"warpsched/internal/config"
 	"warpsched/internal/core"
@@ -87,7 +88,24 @@ type Options struct {
 	// Runs with a Tracer attached force serial execution (a shared tracer
 	// would observe SM events in nondeterministic order).
 	Shards int
+	// Progress, when non-nil, receives the current cycle count while the
+	// run is in flight so another goroutine (e.g. a job server answering a
+	// status poll) can observe how far the simulation has advanced. The
+	// engine stores into it only at hang-monitor sample boundaries
+	// (DefaultHangWindow cycles apart), at event-driven clock jumps and at
+	// run end — never per cycle — so the hook is free on the hot path and
+	// has zero effect on simulation results.
+	Progress *atomic.Int64
 }
+
+// Version identifies the simulation semantics of this build. It is part
+// of every content-addressed result cache key (internal/server): bump it
+// on any change that can alter cycle counts, statistics or memory images
+// for some configuration, so stale cached results can never be served
+// across engine changes. Observation-only changes (metrics, tracing,
+// diagnosis) do not require a bump — the golden-stats gate is the
+// arbiter of whether behaviour moved.
+const Version = 1
 
 // Tracer receives pipeline events during simulation. trace.Ring is the
 // standard implementation.
@@ -485,6 +503,11 @@ func (e *Engine) Run() (res *Result, err error) {
 		}
 	}()
 
+	if p := e.opt.Progress; p != nil {
+		// Final store on every exit path so pollers observing a finished
+		// run see its true cycle count.
+		defer func() { p.Store(e.cycle) }()
+	}
 	checkEvery := e.opt.CheckEvery
 	if checkEvery <= 0 {
 		checkEvery = DefaultCheckEvery
@@ -514,6 +537,9 @@ func (e *Engine) Run() (res *Result, err error) {
 			}
 		}
 		if e.cycle >= hm.next {
+			if p := e.opt.Progress; p != nil {
+				p.Store(e.cycle)
+			}
 			if class := hm.sample(); class != HangUnknown && e.opt.HangWindow > 0 {
 				return e.result(), &HangError{Report: e.buildHangReport(hm, class)}
 			}
@@ -544,6 +570,9 @@ func (e *Engine) Run() (res *Result, err error) {
 				e.ffJumps++
 				e.ffSkipped += t - e.cycle - 1
 				e.cycle = t - 1
+				if p := e.opt.Progress; p != nil {
+					p.Store(e.cycle)
+				}
 			}
 		}
 		e.cycle++

@@ -40,8 +40,12 @@ import (
 type HangClass string
 
 const (
-	HangDeadlock   HangClass = "deadlock"
-	HangLivelock   HangClass = "livelock"
+	// HangDeadlock: no warp committed any instruction for a whole window.
+	HangDeadlock HangClass = "deadlock"
+	// HangLivelock: instructions issued but none useful (all spin work).
+	HangLivelock HangClass = "livelock"
+	// HangStarvation: a runnable warp went a whole window unscheduled
+	// while its SM kept issuing.
 	HangStarvation HangClass = "starvation"
 	// HangUnknown means the monitor saw no confirmed hang signature (the
 	// class on plain MaxCycles watchdog aborts of slow-but-progressing
@@ -82,6 +86,7 @@ type WarpHang struct {
 	HasPendingLock bool
 }
 
+// String renders the warp's location and, when known, its parked lock.
 func (w WarpHang) String() string {
 	s := fmt.Sprintf("sm%d/w%d pc=%d %s", w.SM, w.Slot, w.PC, w.State)
 	if w.HasPendingLock {
@@ -169,6 +174,8 @@ type HangError struct {
 	MaxCycles int64
 }
 
+// Error renders the full diagnosis: classification, progress deltas and
+// the top stuck warps.
 func (e *HangError) Error() string {
 	r := e.Report
 	if e.Watchdog {

@@ -38,6 +38,8 @@ type InvariantViolation struct {
 	Detail string
 }
 
+// String renders the violation with its invariant name, cycle and
+// SM/warp location.
 func (v InvariantViolation) String() string {
 	loc := ""
 	switch {
@@ -54,6 +56,7 @@ type InvariantError struct {
 	Violations []InvariantViolation
 }
 
+// Error lists the first few violations and the total count.
 func (e *InvariantError) Error() string {
 	const show = 3
 	parts := make([]string, 0, show)

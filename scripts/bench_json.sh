@@ -1,10 +1,26 @@
 #!/usr/bin/env bash
 # Runs the per-kernel simulator throughput benchmarks and writes their
 # metrics (ns/op, simcycles/s, allocs/op, ...) as JSON, one object per
-# sub-benchmark. Usage: scripts/bench_json.sh [out.json]
+# sub-benchmark.
+#
+# Usage: scripts/bench_json.sh [-f] [out.json]
+#
+# Refuses to overwrite an existing output file unless -f is given —
+# committed BENCH_PR*.json baselines are per-PR records, and clobbering
+# one silently rewrites the regression baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+force=0
+if [[ "${1:-}" == "-f" ]]; then
+    force=1
+    shift
+fi
 out="${1:-BENCH_PR6.json}"
+if [[ "$force" -eq 0 && -s "$out" ]]; then
+    echo "bench_json: $out already exists; pass -f to overwrite, or pick a new BENCH_PR<n>.json name" >&2
+    exit 1
+fi
 
 go test -bench=BenchmarkSimulator -run '^$' -benchmem . | tee /tmp/bench_raw.txt
 

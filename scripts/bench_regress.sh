@@ -11,16 +11,22 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 threshold="${1:-10}"
 
-baseline="$(ls -t BENCH_*.json 2>/dev/null | head -n1 || true)"
+# The baseline is the committed BENCH_PR<n>.json with the highest PR
+# number — not the newest mtime, which checkouts and cache restores
+# scramble (a fresh clone gives every file the same timestamp).
+baseline="$(ls BENCH_PR*.json 2>/dev/null \
+    | sed -n 's/^BENCH_PR\([0-9][0-9]*\)\.json$/\1 &/p' \
+    | sort -n | tail -n1 | cut -d' ' -f2 || true)"
 if [[ -z "$baseline" ]]; then
-    echo "bench_regress: no BENCH_*.json baseline found; nothing to compare" >&2
+    echo "bench_regress: no BENCH_PR<n>.json baseline found; nothing to compare" >&2
     exit 0
 fi
 echo "baseline: $baseline (threshold: ${threshold}% simcycles/s)"
 
+# mktemp creates the (empty) file, so bench_json.sh needs -f to write it.
 fresh="$(mktemp /tmp/bench_fresh.XXXXXX.json)"
 trap 'rm -f "$fresh"' EXIT
-scripts/bench_json.sh "$fresh" >/dev/null
+scripts/bench_json.sh -f "$fresh" >/dev/null
 
 # Extract "bench simcycles_per_s" pairs from the one-object-per-line JSON
 # both files use (bench_json.sh output; no jq dependency).

@@ -10,7 +10,7 @@
 # hang diagnosis). Run from the repo root:
 #
 #   scripts/check.sh          # gate only
-#   scripts/check.sh -bench   # gate + regenerate BENCH_PR6.json
+#   scripts/check.sh -bench   # gate + regenerate BENCH_PR7.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,7 +32,8 @@ echo "== warplint =="
 go run ./cmd/warplint -all
 
 echo "== doccheck (godoc coverage) =="
-go run ./cmd/doccheck ./internal/report ./internal/exp ./internal/metrics .
+go run ./cmd/doccheck ./internal/report ./internal/exp ./internal/metrics \
+    ./internal/server ./internal/sim .
 
 echo "== report drift (REPRODUCTION.md + docs/figures) =="
 go run ./cmd/warpreport -manifest internal/report/testdata/full.json \
@@ -49,8 +50,10 @@ go run ./cmd/warpsim -kernel HT -sms 2 -check > /dev/null
 go run ./cmd/warpsim -kernel ATM -sms 2 -bows ddos -check -fault-seed 7 > /dev/null
 
 if [[ "${1:-}" == "-bench" ]]; then
-    echo "== benchmarks -> BENCH_PR6.json =="
-    scripts/bench_json.sh BENCH_PR6.json
+    # -f: regenerating the current PR's baseline is the one intentional
+    # overwrite; bench_json.sh refuses all others.
+    echo "== benchmarks -> BENCH_PR7.json =="
+    scripts/bench_json.sh -f BENCH_PR7.json
 fi
 
 echo "OK"

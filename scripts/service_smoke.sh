@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# service_smoke.sh — end-to-end smoke test of the warpsimd daemon.
+#
+# Builds warpsimd, starts it on a local port, submits the same job
+# twice, asserts the second response is a cache hit whose result bytes
+# are identical to the first, then SIGTERMs the daemon and asserts a
+# clean drain (exit 0). Run by the CI `service` job; safe to run
+# locally (uses a temp dir, kills its own daemon).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${PORT:-8723}"
+BASE="http://127.0.0.1:$PORT"
+TMP="$(mktemp -d)"
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/warpsimd" ./cmd/warpsimd
+
+"$TMP/warpsimd" -addr "127.0.0.1:$PORT" -journal "$TMP/journal.jsonl" &
+PID=$!
+
+for _ in $(seq 1 100); do
+  curl -fs "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fs "$BASE/healthz" >/dev/null
+
+req='{"kernel":"HT","wait":true,"config":{"sms":2,"quick":true,"sched":"GTO"}}'
+
+echo "--- first submission (engine run)"
+r1="$(curl -fs -X POST -H 'Content-Type: application/json' -d "$req" "$BASE/v1/jobs")"
+echo "$r1"
+echo "$r1" | grep -q '"cached": false' || { echo "FAIL: first submission should not be cached" >&2; exit 1; }
+echo "$r1" | grep -q '"state": "done"'  || { echo "FAIL: sync submission should return done" >&2; exit 1; }
+key="$(echo "$r1" | sed -n 's/.*"key": "\([^"]*\)".*/\1/p')"
+[ -n "$key" ] || { echo "FAIL: no result key in response" >&2; exit 1; }
+
+echo "--- second submission (must be a cache hit)"
+r2="$(curl -fs -X POST -H 'Content-Type: application/json' -d "$req" "$BASE/v1/jobs")"
+echo "$r2"
+echo "$r2" | grep -q '"cached": true' || { echo "FAIL: second identical submission should be cached" >&2; exit 1; }
+
+echo "--- result bytes are identical across fetches"
+curl -fs "$BASE/v1/results/$key" > "$TMP/res1.json"
+curl -fs "$BASE/v1/results/$key" > "$TMP/res2.json"
+cmp "$TMP/res1.json" "$TMP/res2.json" || { echo "FAIL: result fetches differ" >&2; exit 1; }
+grep -q '"schema": 2' "$TMP/res1.json" || { echo "FAIL: result is not a schema-2 manifest" >&2; exit 1; }
+
+echo "--- stats"
+curl -fs "$BASE/v1/stats"
+
+echo "--- SIGTERM: daemon must drain cleanly (exit 0)"
+kill -TERM "$PID"
+wait "$PID"
+
+echo "--- journal is fully resolved (no unfinished jobs survive a clean drain)"
+admits="$(grep -c '"admit"' "$TMP/journal.jsonl")"
+dones="$(grep -c '"done"' "$TMP/journal.jsonl")"
+[ "$admits" -eq "$dones" ] || { echo "FAIL: $admits admits vs $dones dones after drain" >&2; exit 1; }
+
+echo "service smoke: OK"
