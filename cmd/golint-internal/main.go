@@ -1,0 +1,116 @@
+// Command golint-internal enforces the determinism contract of the
+// simulation core at the Go-source level: packages it is pointed at may
+// not import math/rand (any randomness must come from seeded injectors
+// like mem.FaultConfig) and may not call time.Now (wall-clock reads make
+// cycle-exact replay and the content-addressed result cache unsound —
+// simulated time is the only clock). It is a plain-parser lint in the
+// style of cmd/doccheck — no type checking, no external dependencies —
+// wired into scripts/check.sh and the CI lint job over internal/sim and
+// internal/mem:
+//
+//	go run ./cmd/golint-internal ./internal/sim ./internal/mem
+//
+// Test files are exempt: harnesses legitimately time out and shuffle.
+// Exits 1 listing each violation as file:line: message.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: golint-internal <package dir>...")
+		os.Exit(2)
+	}
+	var problems []string
+	for _, dir := range os.Args[1:] {
+		p, err := checkDir(strings.TrimSuffix(dir, "/..."))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "golint-internal: %v\n", err)
+			os.Exit(2)
+		}
+		problems = append(problems, p...)
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Fprintf(os.Stderr, "golint-internal: %d determinism violations\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			out = append(out, checkFile(fset, f)...)
+		}
+	}
+	return out, nil
+}
+
+// checkFile flags math/rand imports and calls through any local name of
+// the time package whose selector is Now. Import aliases are honoured,
+// so `import t "time"; t.Now()` is caught and a local variable named
+// `time` is not.
+func checkFile(fset *token.FileSet, f *ast.File) []string {
+	var out []string
+	timeNames := map[string]bool{}
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		switch path {
+		case "math/rand", "math/rand/v2":
+			pos := fset.Position(imp.Pos())
+			out = append(out, fmt.Sprintf("%s:%d: import %s forbidden: use a seeded injector, not ambient randomness",
+				pos.Filename, pos.Line, path))
+		case "time":
+			name := "time"
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			if name != "_" && name != "." {
+				timeNames[name] = true
+			}
+		}
+	}
+	if len(timeNames) == 0 {
+		return out
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Now" {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		// Obj == nil distinguishes the package name from a shadowing
+		// local declaration, which the parser resolves file-locally.
+		if !ok || !timeNames[id.Name] || id.Obj != nil {
+			return true
+		}
+		pos := fset.Position(sel.Pos())
+		out = append(out, fmt.Sprintf("%s:%d: time.Now forbidden: simulated cycles are the only clock",
+			pos.Filename, pos.Line))
+		return true
+	})
+	return out
+}

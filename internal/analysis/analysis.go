@@ -34,17 +34,55 @@ func Analyze(p *isa.Program) *Report {
 	return AnalyzeOpts(p, Options{})
 }
 
+// Suppressed reports whether finding f is silenced: allowlisted in opt,
+// or anchored at an instruction whose !nolint annotation matches the
+// finding's category or class. Pair findings (OtherPC > 0) are silenced
+// when either endpoint carries a matching nolint — suppressing one
+// access of a race suppresses the pair.
+func (o *Options) Suppressed(p *isa.Program, f Finding) bool {
+	if o.allows(f) {
+		return true
+	}
+	match := func(pc int32) bool {
+		return pc >= 0 && pc < p.Len() &&
+			p.At(pc).Suppresses(string(f.Category), f.Category.Class())
+	}
+	return match(f.PC) || (f.OtherPC > 0 && match(f.OtherPC))
+}
+
+// BuildReport splits findings into Findings and Suppressed according to
+// opt and per-instruction nolint annotations, fills each finding's Class
+// from its category, and sorts for deterministic output. Shared by the
+// core passes and internal/analysis/race.
+func BuildReport(p *isa.Program, opt Options, all []Finding) *Report {
+	rep := &Report{Program: p.Name}
+	sortFindings(all)
+	for _, f := range all {
+		f.Class = f.Category.Class()
+		if opt.Suppressed(p, f) {
+			rep.Suppressed = append(rep.Suppressed, f)
+		} else {
+			rep.Findings = append(rep.Findings, f)
+		}
+	}
+	return rep
+}
+
 // AnalyzeOpts runs the full analysis: structural validation, CFG/IPDOM
 // reconvergence verification, def-use dataflow lints and the
 // synchronization-discipline checks. Findings at instructions annotated
 // AnnNoLint (or allowlisted in opt) are reported under Suppressed.
 func AnalyzeOpts(p *isa.Program, opt Options) *Report {
-	rep := &Report{Program: p.Name}
 	if err := p.Validate(); err != nil {
 		// Structural invariants are broken; the CFG passes would index
 		// out of range, so report and stop.
-		rep.Findings = []Finding{{Program: p.Name, PC: -1, Category: CatInvalid, Message: err.Error()}}
-		return rep
+		return &Report{Program: p.Name, Findings: []Finding{{
+			Program:  p.Name,
+			PC:       -1,
+			Category: CatInvalid,
+			Class:    CatInvalid.Class(),
+			Message:  err.Error(),
+		}}}
 	}
 	g := BuildCFG(p)
 
@@ -54,18 +92,5 @@ func AnalyzeOpts(p *isa.Program, opt Options) *Report {
 	all = append(all, checkPredDefiniteAssignment(g)...)
 	all = append(all, checkDeadWrites(g)...)
 	all = append(all, checkSyncDiscipline(g)...)
-	sortFindings(all)
-
-	for _, f := range all {
-		suppressed := opt.allows(f)
-		if !suppressed && f.PC >= 0 && f.PC < p.Len() && p.At(f.PC).HasAnn(isa.AnnNoLint) {
-			suppressed = true
-		}
-		if suppressed {
-			rep.Suppressed = append(rep.Suppressed, f)
-		} else {
-			rep.Findings = append(rep.Findings, f)
-		}
-	}
-	return rep
+	return BuildReport(p, opt, all)
 }

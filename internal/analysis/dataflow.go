@@ -136,9 +136,38 @@ func checkPredDefiniteAssignment(g *CFG) []Finding {
 // kill liveness — lanes with a false guard keep the old value.
 func checkDeadWrites(g *CFG) []Finding {
 	p := g.Prog
+	liveR, liveP := liveness(g)
+	var fs []Finding
+	for pc := int32(0); pc < g.N; pc++ {
+		if !g.Reachable[pc] {
+			continue
+		}
+		i := p.At(pc)
+		var outR uint64
+		var outP uint8
+		for _, s := range g.Succ[pc] {
+			outR |= liveR[s]
+			outP |= liveP[s]
+		}
+		if i.WritesReg() && !i.Op.IsMem() && outR&(1<<i.Dst) == 0 {
+			fs = append(fs, Finding{Program: p.Name, PC: pc, Category: CatDeadWrite,
+				Message: fmt.Sprintf("%%r%d is written here but never read afterwards", i.Dst)})
+		}
+		if i.Op == isa.OpSetp && outP&(1<<i.PDst) == 0 {
+			fs = append(fs, Finding{Program: p.Name, PC: pc, Category: CatDeadWrite,
+				Message: fmt.Sprintf("%%p%d is set here but never used afterwards", i.PDst)})
+		}
+	}
+	return fs
+}
+
+// liveness runs backward liveness over GPRs and predicates, returning
+// live-in sets per node (index N is the virtual exit, always empty).
+func liveness(g *CFG) (liveR []uint64, liveP []uint8) {
+	p := g.Prog
 	n := int(g.N)
-	liveR := make([]uint64, n+1) // live-in register sets
-	liveP := make([]uint8, n+1)
+	liveR = make([]uint64, n+1)
+	liveP = make([]uint8, n+1)
 	for changed := true; changed; {
 		changed = false
 		for pc := n - 1; pc >= 0; pc-- {
@@ -166,29 +195,33 @@ func checkDeadWrites(g *CFG) []Finding {
 			}
 		}
 	}
-	var fs []Finding
+	return liveR, liveP
+}
+
+// DeadLoadDests reports, per PC, the loads whose destination register is
+// never read on any path — deliberate "touch" loads issued only for
+// their memory-timing side effect (e.g. the TB tree walk). The race
+// analyzer exempts them from read/write pairing.
+func DeadLoadDests(g *CFG) []bool {
+	liveR, _ := liveness(g)
+	out := make([]bool, g.N)
 	for pc := int32(0); pc < g.N; pc++ {
-		if !g.Reachable[pc] {
+		in := g.Prog.At(pc)
+		if in.Op != isa.OpLd {
 			continue
 		}
-		i := p.At(pc)
 		var outR uint64
-		var outP uint8
 		for _, s := range g.Succ[pc] {
 			outR |= liveR[s]
-			outP |= liveP[s]
 		}
-		if i.WritesReg() && !i.Op.IsMem() && outR&(1<<i.Dst) == 0 {
-			fs = append(fs, Finding{Program: p.Name, PC: pc, Category: CatDeadWrite,
-				Message: fmt.Sprintf("%%r%d is written here but never read afterwards", i.Dst)})
-		}
-		if i.Op == isa.OpSetp && outP&(1<<i.PDst) == 0 {
-			fs = append(fs, Finding{Program: p.Name, PC: pc, Category: CatDeadWrite,
-				Message: fmt.Sprintf("%%p%d is set here but never used afterwards", i.PDst)})
-		}
+		out[pc] = outR&(1<<in.Dst) == 0
 	}
-	return fs
+	return out
 }
+
+// VaryingSets exposes the CTA-uniformity analysis to sibling packages
+// (internal/analysis/race layers its address abstraction on it).
+func VaryingSets(g *CFG) (regs uint64, preds uint8) { return varyingSets(g) }
 
 // varyingSets computes a conservative CTA-level divergence analysis: a
 // register/predicate is "varying" if threads of one CTA may hold

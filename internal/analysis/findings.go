@@ -63,14 +63,73 @@ const (
 	// guarded by a thread-varying predicate, or inside the arm of a
 	// forward branch whose guard is thread-varying.
 	CatDivergentBarrier Category = "divergent-barrier"
+
+	// The categories below are produced by the inter-warp race analyzer
+	// (internal/analysis/race); they share this taxonomy so suppression,
+	// allowlists and JSON output treat every pass uniformly.
+
+	// CatRace: two accesses in the same barrier interval may touch the
+	// same word from different threads and at least one is a non-atomic
+	// write. The finding is anchored at one access; OtherPC names the
+	// second.
+	CatRace Category = "race"
+	// CatBarrierDeadlock: threads of one CTA can diverge to different
+	// barrier sets — some warps arrive at a bar.sync other warps can
+	// bypass while still running, so the barrier count may never close.
+	CatBarrierDeadlock Category = "barrier-deadlock"
+	// CatDoubleAcquire: a path re-acquires a lock address that is already
+	// held (self-deadlock on a non-reentrant spin lock).
+	CatDoubleAcquire Category = "double-acquire"
+	// CatUnlockWithoutLock: a release on a path where the lock address is
+	// not held.
+	CatUnlockWithoutLock Category = "unlock-without-lock"
+	// CatLockLeak: a program exit path on which an acquired lock is still
+	// held (no release on the path).
+	CatLockLeak Category = "lock-leak"
+	// CatLockOrder: the static lock-order graph has a cycle — two paths
+	// acquire the same pair of lock addresses in opposite orders while
+	// blocking (AB/BA deadlock).
+	CatLockOrder Category = "lockorder"
 )
+
+// Class groups categories for coarse suppression and the schema-2 JSON
+// `class` field: "cfg" (structure/reconvergence), "dataflow" (def-use),
+// "sync" (intra-warp sync discipline), "race" (inter-warp data races and
+// barrier phasing) and "lock" (lockset and lock-order defects). A
+// `!nolint <name>` annotation matches either the class or the exact
+// category.
+func (c Category) Class() string {
+	switch c {
+	case CatInvalid, CatReconvMismatch, CatNoExitPath, CatSIBNotBackward, CatUnreachable:
+		return "cfg"
+	case CatUninitReg, CatUninitPred, CatDeadWrite:
+		return "dataflow"
+	case CatUnpairedAcquire, CatUnpairedRelease, CatSpinLoadNotVolatile,
+		CatSyncBackwardNoSIB, CatDivergentBarrier:
+		return "sync"
+	case CatRace, CatBarrierDeadlock:
+		return "race"
+	case CatDoubleAcquire, CatUnlockWithoutLock, CatLockLeak, CatLockOrder:
+		return "lock"
+	}
+	return "other"
+}
 
 // Finding is one analysis diagnostic, anchored at a PC of the program.
 type Finding struct {
 	Program  string   `json:"program"`
 	PC       int32    `json:"pc"`
 	Category Category `json:"category"`
-	Message  string   `json:"message"`
+	// Class is the category's coarse group (Category.Class), emitted so
+	// schema-2 consumers can bucket findings without the category table.
+	Class   string `json:"class,omitempty"`
+	Message string `json:"message"`
+	// OtherPC names the second instruction of a pair finding (the other
+	// access of a race). Pair findings are anchored at the lower PC with
+	// OtherPC the strictly greater one, so a zero value (omitted in JSON)
+	// always means "no second site" — self-pairs (one instruction racing
+	// with itself across threads) carry the pairing in Message instead.
+	OtherPC int32 `json:"other_pc,omitempty"`
 }
 
 func (f Finding) String() string {

@@ -1,0 +1,247 @@
+package race
+
+import (
+	"fmt"
+
+	"warpsched/internal/analysis"
+	"warpsched/internal/isa"
+)
+
+// intervals captures barrier-interval co-membership: two same-CTA
+// accesses can only race if some execution places them between the same
+// pair of adjacent bar.syncs. Interval starts are the program entry and
+// every successor of a bar; an access belongs to the interval of start s
+// when it is reachable from s without crossing another bar.
+type intervals struct {
+	member [][]bool // member[k][pc]
+}
+
+func buildIntervals(p *isa.Program, g *analysis.CFG) *intervals {
+	isBar := func(v int32) bool { return v < g.N && p.At(v).Op == isa.OpBar }
+	var starts []int32
+	seenStart := make(map[int32]bool)
+	addStart := func(v int32) {
+		if v < g.N && !seenStart[v] {
+			seenStart[v] = true
+			starts = append(starts, v)
+		}
+	}
+	addStart(0)
+	for pc := int32(0); pc < g.N; pc++ {
+		if isBar(pc) {
+			for _, s := range g.Succ[pc] {
+				addStart(s)
+			}
+		}
+	}
+	iv := &intervals{}
+	for _, s := range starts {
+		m := make([]bool, g.N+1)
+		stack := []int32{s}
+		m[s] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if isBar(v) {
+				continue // the interval ends at the next barrier
+			}
+			for _, w := range g.Succ[v] {
+				if w < g.N && !m[w] {
+					m[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		iv.member = append(iv.member, m)
+	}
+	return iv
+}
+
+// same reports whether some barrier interval contains both PCs.
+func (iv *intervals) same(u, v int32) bool {
+	for _, m := range iv.member {
+		if m[u] && m[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// firstBars collects the bar.sync PCs reachable from start without
+// crossing another bar — the set of "next barriers" on that edge.
+func firstBars(p *isa.Program, g *analysis.CFG, start int32) map[int32]bool {
+	out := map[int32]bool{}
+	if start >= g.N {
+		return out
+	}
+	seen := make([]bool, g.N+1)
+	stack := []int32{start}
+	seen[start] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v < g.N && p.At(v).Op == isa.OpBar {
+			out[v] = true
+			continue
+		}
+		for _, w := range g.Succ[v] {
+			if w < g.N && !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return out
+}
+
+// threadVaryingSets computes a "strictly thread-identity-derived"
+// divergence analysis, deliberately tighter than analysis.VaryingSets:
+// loads taint their destination only when the *address* is varying.
+// A load from a uniform address (the BFS frontier flag, a producer/
+// consumer mailbox) yields the same word to every thread issuing it at
+// that moment, so branching on it cannot split the CTA's warps across
+// different barriers — whereas tid-indexed data genuinely can.
+func threadVaryingSets(g *analysis.CFG) (uint64, uint8) {
+	p := g.Prog
+	var varyR uint64
+	var varyP uint8
+
+	specVarying := func(s isa.Special) bool {
+		switch s {
+		case isa.SpecTID, isa.SpecLaneID, isa.SpecWarpID, isa.SpecGTID:
+			return true
+		}
+		return false
+	}
+	opdVarying := func(o isa.Operand) bool {
+		switch o.Kind {
+		case isa.OpdReg:
+			return varyR&(1<<o.Reg) != 0
+		case isa.OpdSpecial:
+			return specVarying(o.Spec)
+		}
+		return false
+	}
+
+	for {
+		divergent := make([]bool, g.N+1)
+		for pc := int32(0); pc < g.N; pc++ {
+			in := p.At(pc)
+			if in.Op != isa.OpBra || !in.Guarded() || varyP&(1<<uint8(in.Guard)) == 0 {
+				continue
+			}
+			for v, inRegion := range g.DivergentRegion(pc) {
+				if inRegion {
+					divergent[v] = true
+				}
+			}
+		}
+		changed := false
+		for pc := int32(0); pc < g.N; pc++ {
+			in := p.At(pc)
+			v := divergent[pc] || (in.Guarded() && varyP&(1<<uint8(in.Guard)) != 0)
+			if !v {
+				switch {
+				case in.Op == isa.OpLd:
+					v = opdVarying(in.A) || opdVarying(in.B)
+				case in.Op.IsAtomic():
+					v = true // each thread receives a distinct old value
+				case in.Op == isa.OpLdParam:
+					v = false
+				case in.Op == isa.OpSelp:
+					v = opdVarying(in.A) || opdVarying(in.B) || varyP&(1<<in.PSrc) != 0
+				default:
+					v = opdVarying(in.A) || opdVarying(in.B) || opdVarying(in.C) || opdVarying(in.D)
+				}
+			}
+			if !v {
+				continue
+			}
+			if in.WritesReg() && varyR&(1<<in.Dst) == 0 {
+				varyR |= 1 << in.Dst
+				changed = true
+			}
+			if in.Op == isa.OpSetp && varyP&(1<<in.PDst) == 0 {
+				varyP |= 1 << in.PDst
+				changed = true
+			}
+		}
+		if !changed {
+			return varyR, varyP
+		}
+	}
+}
+
+// checkBarrierReachability flags forward branches whose guard is derived
+// from the thread's identity and whose two edges proceed to *different*
+// next barriers: threads of one CTA then arrive at bar.syncs of distinct
+// program phases in the same dynamic round, silently pairing mismatched
+// phases (or, with a spin on the far side, deadlocking the CTA). An edge
+// whose barrier set is empty is exempt — threads that exit are released
+// from the barrier count, so skipping straight to exit cannot wedge the
+// others. Backward branches are exempt for the same reason as in the
+// divergent-barrier check: loop-exit lanes wait at reconvergence.
+func checkBarrierReachability(p *isa.Program, g *analysis.CFG) []analysis.Finding {
+	hasBar := false
+	for pc := int32(0); pc < g.N; pc++ {
+		if p.At(pc).Op == isa.OpBar {
+			hasBar = true
+			break
+		}
+	}
+	if !hasBar {
+		return nil
+	}
+	_, varyP := threadVaryingSets(g)
+	var fs []analysis.Finding
+	for pc := int32(0); pc < g.N; pc++ {
+		in := p.At(pc)
+		if in.Op != isa.OpBra || !in.Guarded() || in.Target <= pc || !g.Reachable[pc] {
+			continue
+		}
+		if varyP&(1<<uint8(in.Guard)) == 0 {
+			continue
+		}
+		taken := firstBars(p, g, in.Target)
+		fall := map[int32]bool{}
+		if pc+1 < g.N {
+			fall = firstBars(p, g, pc+1)
+		}
+		if len(taken) == 0 || len(fall) == 0 || sameBarSet(taken, fall) {
+			continue
+		}
+		fs = append(fs, analysis.Finding{
+			Program: p.Name, PC: pc, Category: analysis.CatBarrierDeadlock,
+			Message: fmt.Sprintf(
+				"thread-dependent branch: the taken edge next reaches bar.sync at %s but the fall-through reaches %s; threads of one CTA would pair barriers of different phases",
+				barList(taken), barList(fall)),
+		})
+	}
+	return fs
+}
+
+func sameBarSet(a, b map[int32]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func barList(m map[int32]bool) string {
+	lo := int32(-1)
+	for k := range m {
+		if lo < 0 || k < lo {
+			lo = k
+		}
+	}
+	s := fmt.Sprintf("pc %d", lo)
+	if len(m) > 1 {
+		s += fmt.Sprintf(" (+%d more)", len(m)-1)
+	}
+	return s
+}

@@ -1,0 +1,496 @@
+package race
+
+import "warpsched/internal/isa"
+
+// The conflict prover decides whether two memory accesses, performed by
+// two distinct threads, can touch the same word. It reduces the question
+// to integer-linear feasibility: the two effective addresses are
+// instantiated over per-thread variables (lane, warp, cta of each side)
+// and the abstract symbols of their values — shared between the sides
+// exactly when the symbol kind licenses it — and the system
+//
+//	addr₁ − addr₂ = 0  ∧  guard constraints  ∧  geometry bounds
+//	∧  thread₁ ≠ thread₂ (case-split into < and >)
+//
+// is refuted with Fourier–Motzkin elimination over the rationals plus
+// integer tightening. Refutation is sound: rational infeasibility (of a
+// system whose every integer solution is preserved) implies no two
+// threads can collide. Feasibility only means "cannot prove disjoint".
+
+// lin is one linear row: Σ coef·x + c ≥ 0, or = 0 when eq is set.
+type lin struct {
+	coef map[int]int64
+	c    int64
+	eq   bool
+}
+
+func newLin() lin { return lin{coef: map[int]int64{}} }
+
+func (l lin) clone() lin {
+	m := make(map[int]int64, len(l.coef))
+	for k, v := range l.coef {
+		m[k] = v
+	}
+	return lin{coef: m, c: l.c, eq: l.eq}
+}
+
+const coefLimit = int64(1) << 50
+
+// normalize divides the row by the gcd of its coefficients, tightening
+// the constant toward feasibility-preservation for integer solutions.
+// Returns false if the row is already unsatisfiable.
+func (l *lin) normalize() (ok, sat bool) {
+	var g int64
+	for k, v := range l.coef {
+		if v == 0 {
+			delete(l.coef, k)
+			continue
+		}
+		if v > coefLimit || v < -coefLimit {
+			return false, true
+		}
+		g = gcd64(g, v)
+	}
+	if len(l.coef) == 0 {
+		if l.eq {
+			return true, l.c == 0
+		}
+		return true, l.c >= 0
+	}
+	if g > 1 {
+		if l.eq {
+			if l.c%g != 0 {
+				return true, false // Σ g·aᵢxᵢ = -c has no integer solution
+			}
+			l.c /= g
+		} else {
+			// floor division keeps every integer solution.
+			c := l.c / g
+			if l.c%g != 0 && l.c < 0 {
+				c--
+			}
+			l.c = c
+		}
+		for k := range l.coef {
+			l.coef[k] /= g
+		}
+	}
+	return true, true
+}
+
+// feasible reports whether the system may have an integer solution.
+// false is definitive (no integer solution); true is "could not refute".
+func feasible(rows []lin) bool {
+	work := make([]lin, 0, len(rows))
+	for _, r := range rows {
+		r = r.clone()
+		ok, sat := r.normalize()
+		if !ok {
+			return true // overflow: give up, assume feasible
+		}
+		if !sat {
+			return false
+		}
+		if len(r.coef) > 0 {
+			work = append(work, r)
+		}
+	}
+
+	// Substitute out equalities first.
+	for {
+		ei := -1
+		for i, r := range work {
+			if r.eq {
+				ei = i
+				break
+			}
+		}
+		if ei < 0 {
+			break
+		}
+		e := work[ei]
+		work = append(work[:ei], work[ei+1:]...)
+		// Pick the variable with the smallest |coef| as pivot.
+		pv, pc := -1, int64(0)
+		for k, v := range e.coef {
+			av := v
+			if av < 0 {
+				av = -av
+			}
+			if pv < 0 || av < pc {
+				pv, pc = k, av
+			}
+		}
+		next := work[:0]
+		for _, r := range work {
+			b := r.coef[pv]
+			if b != 0 {
+				a := e.coef[pv]
+				// r' = a·r − b·e keeps direction only if a > 0; flip e.
+				scaleE := e
+				if a < 0 {
+					scaleE = e.clone()
+					for k := range scaleE.coef {
+						scaleE.coef[k] = -scaleE.coef[k]
+					}
+					scaleE.c = -scaleE.c
+					a = -a
+				}
+				nr := newLin()
+				nr.eq = r.eq
+				for k, v := range r.coef {
+					nr.coef[k] = v * a
+				}
+				nr.c = r.c * a
+				for k, v := range scaleE.coef {
+					nr.coef[k] -= v * b
+				}
+				nr.c -= scaleE.c * b
+				r = nr
+			}
+			ok, sat := r.normalize()
+			if !ok {
+				return true
+			}
+			if !sat {
+				return false
+			}
+			if len(r.coef) > 0 {
+				next = append(next, r)
+			}
+		}
+		work = next
+	}
+
+	// Fourier–Motzkin on the remaining inequalities.
+	for len(work) > 0 {
+		// Pick the variable minimizing pos·neg fill-in.
+		counts := map[int][2]int{}
+		for _, r := range work {
+			for k, v := range r.coef {
+				c := counts[k]
+				if v > 0 {
+					c[0]++
+				} else {
+					c[1]++
+				}
+				counts[k] = c
+			}
+		}
+		best, bestCost := -1, 1<<30
+		for k, c := range counts {
+			cost := c[0] * c[1]
+			if cost < bestCost {
+				best, bestCost = k, cost
+			}
+		}
+		if best < 0 {
+			break
+		}
+		var pos, neg, rest []lin
+		for _, r := range work {
+			switch v := r.coef[best]; {
+			case v > 0:
+				pos = append(pos, r)
+			case v < 0:
+				neg = append(neg, r)
+			default:
+				rest = append(rest, r)
+			}
+		}
+		for _, p := range pos {
+			a := p.coef[best]
+			for _, n := range neg {
+				b := -n.coef[best]
+				nr := newLin()
+				for k, v := range p.coef {
+					nr.coef[k] = v * b
+				}
+				nr.c = p.c * b
+				for k, v := range n.coef {
+					nr.coef[k] += v * a
+				}
+				nr.c += n.c * a
+				delete(nr.coef, best)
+				ok, sat := nr.normalize()
+				if !ok {
+					return true
+				}
+				if !sat {
+					return false
+				}
+				if len(nr.coef) > 0 {
+					rest = append(rest, nr)
+				}
+			}
+		}
+		if len(rest) > 600 {
+			return true // blowup guard: give up
+		}
+		work = rest
+	}
+	return true
+}
+
+// Variable ids used by the instantiation. Symbol instances are allocated
+// past varSymBase.
+const (
+	varLane1 = iota
+	varWarp1
+	varCTA1
+	varLane2
+	varWarp2
+	varCTA2
+	varSymBase
+)
+
+// prover instantiates accesses into linear systems.
+type prover struct {
+	t   *symtab
+	geo geometry
+}
+
+// inst is one pair-instantiation context: variable allocation for the
+// symbols of both sides plus the accumulated bound rows.
+type inst struct {
+	pr      *prover
+	sameCTA bool
+	next    int
+	vars    map[[2]int32]int // (sym, side) -> var; side 0 means shared
+	rows    []lin
+}
+
+func (pr *prover) newInst(sameCTA bool) *inst {
+	in := &inst{pr: pr, sameCTA: sameCTA, next: varSymBase, vars: map[[2]int32]int{}}
+	// Geometry bounds for both sides.
+	g := pr.geo
+	bound := func(v int, lo, hi int64) {
+		r := newLin()
+		r.coef[v] = 1
+		r.c = -lo
+		in.rows = append(in.rows, r) // v ≥ lo
+		r2 := newLin()
+		r2.coef[v] = -1
+		r2.c = hi
+		in.rows = append(in.rows, r2) // v ≤ hi
+	}
+	for side := 0; side < 2; side++ {
+		lane, warp, cta := sideVars(side)
+		bound(lane, 0, 31)
+		bound(warp, 0, g.warps-1)
+		bound(cta, 0, g.ctas-1)
+		// Partial last warp: tid = 32·warp + lane < threads.
+		r := newLin()
+		r.coef[warp] = -32
+		r.coef[lane] = -1
+		r.c = g.threads - 1
+		in.rows = append(in.rows, r)
+	}
+	if sameCTA {
+		r := newLin()
+		r.coef[varCTA1] = 1
+		r.coef[varCTA2] = -1
+		r.eq = true
+		in.rows = append(in.rows, r)
+	}
+	return in
+}
+
+func sideVars(side int) (lane, warp, cta int) {
+	if side == 0 {
+		return varLane1, varWarp1, varCTA1
+	}
+	return varLane2, varWarp2, varCTA2
+}
+
+// symVar returns the variable for a symbol on the given side (1 or 2),
+// sharing it across sides when the symbol kind licenses it, and emits
+// the symbol's bound rows on first allocation.
+func (in *inst) symVar(sym int32, side int) int {
+	info := in.pr.t.info(sym)
+	key := [2]int32{sym, int32(side)}
+	if info.kind == symParam || (info.kind == symStable && in.sameCTA) {
+		key[1] = 0
+	}
+	if v, ok := in.vars[key]; ok {
+		return v
+	}
+	v := in.next
+	in.next++
+	in.vars[key] = v
+	if info.lo != negInf {
+		r := newLin()
+		r.coef[v] = 1
+		r.c = -info.lo
+		in.rows = append(in.rows, r)
+	}
+	if info.hi != posInf {
+		r := newLin()
+		r.coef[v] = -1
+		r.c = info.hi
+		in.rows = append(in.rows, r)
+	}
+	return v
+}
+
+// lincomb instantiates value v for side (1 or 2) into row r with the
+// given scale, excluding the stride component (handled by the caller).
+func (in *inst) lincomb(r *lin, v AbsVal, side int, scale int64) {
+	lane, warp, cta := sideVars(side - 1)
+	r.c += scale * v.C
+	r.coef[lane] += scale * v.Lane
+	r.coef[warp] += scale * v.Warp
+	r.coef[cta] += scale * v.CTA
+	for _, tm := range v.Terms {
+		r.coef[in.symVar(tm.Sym, side)] += scale * tm.Coef
+	}
+}
+
+// addGuard emits the linear row for "a cmp b" on the given side.
+// Unrepresentable comparisons (NE) are skipped.
+func (in *inst) addGuard(a, b AbsVal, cmp isa.Cmp, side int) {
+	if a.Top || b.Top || a.Stride != 0 || b.Stride != 0 {
+		return
+	}
+	r := newLin()
+	switch cmp {
+	case isa.EQ:
+		in.lincomb(&r, a, side, 1)
+		in.lincomb(&r, b, side, -1)
+		r.eq = true
+	case isa.LT: // b - a - 1 ≥ 0
+		in.lincomb(&r, b, side, 1)
+		in.lincomb(&r, a, side, -1)
+		r.c--
+	case isa.LE:
+		in.lincomb(&r, b, side, 1)
+		in.lincomb(&r, a, side, -1)
+	case isa.GT:
+		in.lincomb(&r, a, side, 1)
+		in.lincomb(&r, b, side, -1)
+		r.c--
+	case isa.GE:
+		in.lincomb(&r, a, side, 1)
+		in.lincomb(&r, b, side, -1)
+	default:
+		return
+	}
+	in.rows = append(in.rows, r)
+}
+
+// intervalOf evaluates the row's range under the bound rows accumulated
+// so far (simple interval arithmetic over the per-variable bounds).
+func (in *inst) intervalOf(r lin) (int64, int64) {
+	// Collect per-variable bounds from the single-variable rows.
+	lo := map[int]int64{}
+	hi := map[int]int64{}
+	for v := 0; v < in.next; v++ {
+		lo[v], hi[v] = negInf, posInf
+	}
+	for _, b := range in.rows {
+		if len(b.coef) != 1 || b.eq {
+			continue
+		}
+		for v, k := range b.coef {
+			switch {
+			case k == 1:
+				if -b.c > lo[v] {
+					lo[v] = -b.c
+				}
+			case k == -1:
+				if b.c < hi[v] {
+					hi[v] = b.c
+				}
+			}
+		}
+	}
+	l, h := r.c, r.c
+	for v, k := range r.coef {
+		if k >= 0 {
+			l, h = addB(l, mulB(k, lo[v])), addB(h, mulB(k, hi[v]))
+		} else {
+			l, h = addB(l, mulB(k, hi[v])), addB(h, mulB(k, lo[v]))
+		}
+	}
+	return l, h
+}
+
+// disjoint proves that accesses a1 and a2 (by two distinct threads, in
+// the same barrier interval when sameCTA) can never touch the same word.
+func (pr *prover) disjoint(a1, a2 *access, sameCTA bool) bool {
+	if a1.addr.Top || a2.addr.Top {
+		return false
+	}
+	// Distinct array bases: parameters are assumed to point to disjoint
+	// in-bounds allocations (documented in DESIGN.md §6.14). Only applies
+	// when each address is cleanly based on a single parameter.
+	b1, ok1 := a1.addr.paramBase(pr.t)
+	b2, ok2 := a2.addr.paramBase(pr.t)
+	if ok1 && ok2 && b1 != b2 {
+		return true
+	}
+
+	splits := [2][2]int64{{1, -1}, {-1, 1}} // thread1 < thread2, thread1 > thread2
+	for _, sp := range splits {
+		in := pr.newInst(sameCTA)
+
+		// Distinctness row: for same-CTA pairs the CTA-local tids differ;
+		// across CTAs the cta ids differ.
+		d := newLin()
+		if sameCTA {
+			d.coef[varWarp1] = 32 * sp[0]
+			d.coef[varLane1] = sp[0]
+			d.coef[varWarp2] = 32 * sp[1]
+			d.coef[varLane2] = sp[1]
+		} else {
+			d.coef[varCTA1] = sp[0]
+			d.coef[varCTA2] = sp[1]
+		}
+		d.c = -1 // difference ≥ 1
+		in.rows = append(in.rows, d)
+
+		for _, gc := range a1.guards {
+			in.addGuard(gc.a, gc.b, gc.cmp, 1)
+		}
+		for _, gc := range a2.guards {
+			in.addGuard(gc.a, gc.b, gc.cmp, 2)
+		}
+
+		// The address-equality row P = addr1 − addr2 (strides excluded).
+		eqr := newLin()
+		in.lincomb(&eqr, a1.addr, 1, 1)
+		in.lincomb(&eqr, a2.addr, 2, -1)
+
+		g := gcd64(a1.addr.Stride, a2.addr.Stride)
+		if g != 0 {
+			// addr1 − addr2 = P + (stride steps); a collision needs
+			// P ≡ 0 (mod g). Two refutations:
+			//  (a) interval: |P| < g forces P = 0 — prove P = 0 infeasible;
+			//  (b) residue: every variable coefficient of P divisible by g
+			//      but the constant is not.
+			lo, hi := in.intervalOf(eqr)
+			if lo > -g && hi < g {
+				// fall through to the FM check with P = 0
+			} else {
+				allDiv := true
+				for _, v := range eqr.coef {
+					if v%g != 0 {
+						allDiv = false
+						break
+					}
+				}
+				if allDiv && eqr.c%g != 0 {
+					continue // this split refuted
+				}
+				return false // cannot prove
+			}
+		}
+		eqr.eq = true
+		in.rows = append(in.rows, eqr)
+
+		if feasible(in.rows) {
+			return false
+		}
+	}
+	return true
+}

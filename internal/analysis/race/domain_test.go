@@ -1,0 +1,211 @@
+package race
+
+import (
+	"testing"
+
+	"warpsched/internal/analysis"
+	"warpsched/internal/isa"
+)
+
+func mustParse(t *testing.T, name, src string) *isa.Program {
+	t.Helper()
+	p, err := isa.Parse(name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// interpFor runs the abstract interpreter over src at the given geometry
+// and returns it for inspection.
+func interpFor(t *testing.T, src string, ctas, threads int64) *interp {
+	t.Helper()
+	p := mustParse(t, "t", src)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := analysis.BuildCFG(p)
+	it := newInterp(p, g, geometry{ctas: ctas, threads: threads, warps: (threads + 31) / 32})
+	it.run()
+	return it
+}
+
+func TestAbsValAlgebra(t *testing.T) {
+	tab := newSymtab()
+	s1 := symV(tab.intern(symKey{pc: 3, reg: 4}, symStable, 0, 100))
+	s2 := symV(tab.intern(symKey{pc: 7, reg: 5}, symVarying, negInf, posInf))
+
+	cases := []struct {
+		name string
+		got  AbsVal
+		want AbsVal
+	}{
+		{"const-add", constV(3).add(constV(4)), constV(7)},
+		{"sub-self-cancels", s1.add(constV(5)).sub(s1), constV(5)},
+		{"mul-distributes",
+			AbsVal{C: 2, Lane: 1, Warp: 32}.mulConst(3),
+			AbsVal{C: 6, Lane: 3, Warp: 96}},
+		{"mul-zero", s2.mulConst(0), constV(0)},
+		{"term-merge",
+			s1.mulConst(2).add(s1),
+			s1.mulConst(3)},
+		{"top-absorbs", top().add(constV(1)), top()},
+		{"neg-stride-tops",
+			AbsVal{Stride: 4}.mulConst(-1),
+			top()},
+		{"stride-gcd",
+			AbsVal{Stride: 6}.add(AbsVal{Stride: 4}),
+			AbsVal{Stride: 2}},
+	}
+	for _, c := range cases {
+		if !c.got.equal(c.want) {
+			t.Errorf("%s: got %+v, want %+v", c.name, c.got, c.want)
+		}
+	}
+
+	if !s1.add(constV(9)).sameShape(s1) {
+		t.Error("sameShape must ignore the constant part")
+	}
+	if s1.sameShape(s2) {
+		t.Error("different symbols are not the same shape")
+	}
+
+	// Kind/bounds queries.
+	if !s1.uniform(tab) || s2.uniform(tab) {
+		t.Error("uniform: stable sym is uniform, varying sym is not")
+	}
+	if !s1.stableUniform(tab) {
+		t.Error("stableUniform: stable sym qualifies")
+	}
+	pv := symV(tab.paramSym(2))
+	if !pv.add(constV(8)).globalConst(tab) {
+		t.Error("globalConst: param+const qualifies")
+	}
+	if s1.globalConst(tab) {
+		t.Error("globalConst: non-param sym does not qualify")
+	}
+	if idx, ok := pv.paramBase(tab); !ok || idx != 2 {
+		t.Errorf("paramBase = %d,%v want 2,true", idx, ok)
+	}
+
+	lo, hi := s1.mulConst(2).add(constV(1)).bounds(tab, geometry{ctas: 2, threads: 64, warps: 2})
+	if lo != 1 || hi != 201 {
+		t.Errorf("bounds(2*s1+1) = [%d,%d], want [1,201]", lo, hi)
+	}
+}
+
+// TestAddressAbstraction pins the abstract address shapes the interpreter
+// derives for the idioms the kernels use, via their rendered form.
+func TestAddressAbstraction(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		pc      int32 // the memory access to inspect
+		threads int64
+		want    string
+	}{
+		{
+			name: "tid-indexed",
+			src: `
+  ld.param %r2, 0
+  mov %r1, %tid
+  st.global [%r2+%r1], %r1
+  exit
+`,
+			pc: 2, threads: 64, want: "param0+lane+32*warp",
+		},
+		{
+			name: "gtid-indexed",
+			src: `
+  ld.param %r2, 0
+  mov %r1, %gtid
+  st.global [%r2+%r1], %r1
+  exit
+`,
+			pc: 2, threads: 64, want: "param0+lane+32*warp+64*cta",
+		},
+		{
+			name: "warp-of-gtid-shift",
+			src: `
+  ld.param %r2, 0
+  mov %r1, %gtid
+  shr %r3, %r1, 5
+  st.global [%r2+%r3], %r1
+`,
+			pc: 3, threads: 64, want: "param0+warp+2*cta",
+		},
+		{
+			name: "affine-scale-offset",
+			src: `
+  ld.param %r2, 0
+  mov %r1, %tid
+  mul %r3, %r1, 4
+  add %r3, %r3, 100
+  st.global [%r2+%r3], %r1
+`,
+			pc: 4, threads: 64, want: "param0+4*lane+128*warp+100",
+		},
+		{
+			name: "grid-stride-loop",
+			src: `
+  ld.param %r2, 0
+  mov %r1, %tid
+loop:
+  st.global [%r2+%r1], %r1
+  add %r1, %r1, 64
+  setp.lt %p0, %r1, 1024
+  @%p0 bra loop
+  exit
+`,
+			pc: 2, threads: 64, want: "param0+lane+32*warp+64*n",
+		},
+		{
+			name: "loaded-index-is-opaque",
+			src: `
+  ld.param %r2, 0
+  mov %r1, %tid
+  ld.global %r3, [%r2+%r1]
+  st.global [%r2+%r3], %r1
+`,
+			pc: 3, threads: 64, want: "param0+v@pc2",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			it := interpFor(t, c.src+"\n  exit\n", 2, c.threads)
+			got := it.addr(c.pc).describe(it.t)
+			if got != c.want {
+				t.Errorf("addr(pc %d) = %q, want %q", c.pc, got, c.want)
+			}
+		})
+	}
+}
+
+// TestInternWidening checks the landmark widening policy: a lower bound
+// first drops to zero (if it stays non-negative) and only then to -inf,
+// and an upper bound jumps straight to +inf.
+func TestInternWidening(t *testing.T) {
+	tab := newSymtab()
+	key := symKey{pc: 5, reg: 3}
+	id := tab.intern(key, symStable, 10, 20)
+	if s := tab.info(id); s.lo != 10 || s.hi != 20 {
+		t.Fatalf("initial bounds [%d,%d]", s.lo, s.hi)
+	}
+	tab.intern(key, symStable, 4, 20) // shrinking lo, still >= 0
+	if s := tab.info(id); s.lo != 0 || s.hi != 20 {
+		t.Fatalf("after lo-widen: [%d,%d], want [0,20]", s.lo, s.hi)
+	}
+	tab.intern(key, symStable, -1, 30)
+	if s := tab.info(id); s.lo != negInf || s.hi != posInf {
+		t.Fatalf("after full widen: [%d,%d], want [-inf,+inf]", s.lo, s.hi)
+	}
+	// Kind may only weaken.
+	tab.intern(key, symVarying, 0, 0)
+	if tab.info(id).kind != symVarying {
+		t.Fatal("kind did not weaken to varying")
+	}
+	tab.intern(key, symStable, 0, 0)
+	if tab.info(id).kind != symVarying {
+		t.Fatal("kind must not strengthen back")
+	}
+}

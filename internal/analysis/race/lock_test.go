@@ -1,0 +1,143 @@
+package race
+
+import (
+	"testing"
+
+	"warpsched/internal/analysis"
+)
+
+// lockSetup parses src, runs the interpreter and the lockset DFS.
+func lockSetup(t *testing.T, src string) (*lockResult, *interp) {
+	t.Helper()
+	p := mustParse(t, "t", src)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := analysis.BuildCFG(p)
+	it := newInterp(p, g, geometry{ctas: 2, threads: 64, warps: 2})
+	it.run()
+	return analyzeLocks(it, g), it
+}
+
+// spin-acquire of lock word [param0+0]; PCs 1..3, body starts at 4.
+const acquirePrefix = `
+  ld.param %r2, 0
+spin:
+  atom.cas %r1, [%r2+0], 0, 1  !acquire,sync
+  setp.ne %p0, %r1, 0
+  @%p0 bra spin  !sib,sync
+`
+
+// TestLocksetSuccessClassification: the spin exit edge proves the CAS
+// returned 0, so the lock must be held (resolved, not pending) on every
+// path reaching the critical section.
+func TestLocksetSuccessClassification(t *testing.T) {
+	res, _ := lockSetup(t, acquirePrefix+`
+  ld.param %r3, 1
+  st.global [%r3+0], %r1       // 5: critical section
+  atom.exch %r1, [%r2+0], 0    !release,sync
+  exit
+`)
+	held := res.mustHeld[5]
+	if len(held) != 1 || held[0].acqPC != 1 || held[0].pending {
+		t.Fatalf("mustHeld[5] = %+v, want the resolved acquire from pc 1", held)
+	}
+	if len(res.findings) != 0 {
+		t.Fatalf("unexpected findings: %v", res.findings)
+	}
+}
+
+// TestLocksetDiamondMerge: a branch inside the critical section must not
+// lose the lock — both arms and the join keep the same resolved entry.
+func TestLocksetDiamondMerge(t *testing.T) {
+	res, _ := lockSetup(t, acquirePrefix+`
+  ld.param %r3, 1
+  mov %r4, %tid
+  setp.lt %p1, %r4, 16
+  @!%p1 bra other reconv=join  // 7
+  add %r4, %r4, 1              // 8: then-arm
+  bra join
+other:
+  add %r4, %r4, 2              // 10: else-arm
+join:
+  st.global [%r3+0], %r4       // 11: still inside the critical section
+  atom.exch %r1, [%r2+0], 0    !release,sync
+  exit
+`)
+	for _, pc := range []int32{8, 10, 11} {
+		held := res.mustHeld[pc]
+		if len(held) != 1 || held[0].acqPC != 1 || held[0].pending {
+			t.Fatalf("mustHeld[%d] = %+v, want the acquire from pc 1", pc, held)
+		}
+	}
+	if len(res.findings) != 0 {
+		t.Fatalf("unexpected findings: %v", res.findings)
+	}
+}
+
+// TestLocksetConditionalAcquireNotMerged: when only one path through a
+// diamond acquires (and releases before the join), the join's must-held
+// set is the intersection — empty — while the critical section keeps it.
+func TestLocksetConditionalAcquireNotMerged(t *testing.T) {
+	res, _ := lockSetup(t, `
+  ld.param %r2, 0
+  ld.param %r3, 1
+  mov %r4, %tid
+  setp.lt %p1, %r4, 16
+  @!%p1 bra join reconv=join   // 4
+spin:
+  atom.cas %r1, [%r2+0], 0, 1  !acquire,sync
+  setp.ne %p0, %r1, 0
+  @%p0 bra spin  !sib,sync
+  st.global [%r3+0], %r4       // 8: critical section, lock held
+  atom.exch %r1, [%r2+0], 0    !release,sync
+join:
+  st.global [%r3+4], %r4       // 10: lock held on no path here
+  exit
+`)
+	if held := res.mustHeld[8]; len(held) != 1 || held[0].acqPC != 5 {
+		t.Fatalf("mustHeld[8] = %+v, want the acquire from pc 5", held)
+	}
+	if held := res.mustHeld[10]; len(held) != 0 {
+		t.Fatalf("mustHeld[10] = %+v, want empty after the join", held)
+	}
+	if len(res.findings) != 0 {
+		t.Fatalf("unexpected findings: %v", res.findings)
+	}
+}
+
+// TestLocksetUnclassifiableAcquireStaysPending: with no branch proving
+// the CAS succeeded, the entry must stay out of mustHeld.
+func TestLocksetUnclassifiableAcquireStaysPending(t *testing.T) {
+	res, _ := lockSetup(t, `
+  ld.param %r2, 0
+  ld.param %r3, 1
+  atom.cas %r1, [%r2+0], 0, 1  !acquire,sync  // 2: success never tested
+  st.global [%r3+0], %r1       // 3
+  atom.exch %r1, [%r2+0], 0    !release,sync
+  exit
+`)
+	if held := res.mustHeld[3]; len(held) != 0 {
+		t.Fatalf("mustHeld[3] = %+v, want empty (acquire success unproven)", held)
+	}
+}
+
+// TestLocksetDstOverwriteDeclassifies: clobbering the CAS result register
+// before the success test makes the spin-exit edge meaningless.
+func TestLocksetDstOverwriteDeclassifies(t *testing.T) {
+	res, _ := lockSetup(t, `
+  ld.param %r2, 0
+  ld.param %r3, 1
+spin:
+  atom.cas %r1, [%r2+0], 0, 1  !acquire,sync  // 2
+  mov %r1, 0                   // 3: clobbers the result
+  setp.ne %p0, %r1, 0
+  @%p0 bra spin  !sib,sync
+  st.global [%r3+0], %r1       // 6
+  atom.exch %r1, [%r2+0], 0    !release,sync
+  exit
+`)
+	if held := res.mustHeld[6]; len(held) != 0 {
+		t.Fatalf("mustHeld[6] = %+v, want empty (result clobbered)", held)
+	}
+}

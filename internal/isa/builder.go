@@ -88,6 +88,20 @@ func (b *Builder) AnnotateLast(a Ann) {
 	b.code[len(b.code)-1].Ann |= a
 }
 
+// NoLintLast marks the most recently emitted instruction AnnNoLint,
+// restricted to the given finding classes (analysis category or class
+// names). With no classes the suppression covers every class, matching
+// AnnotateLast(AnnNoLint). Repeated calls accumulate classes.
+func (b *Builder) NoLintLast(classes ...string) {
+	if len(b.code) == 0 {
+		b.fail("NoLintLast with no instructions")
+		return
+	}
+	in := &b.code[len(b.code)-1]
+	in.Ann |= AnnNoLint
+	in.NoLint = append(in.NoLint, classes...)
+}
+
 // --- straight-line emitters ---
 
 // Nop emits a no-op.

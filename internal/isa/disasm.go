@@ -60,12 +60,24 @@ func Disasm(in *Instr) string {
 		}
 	}
 	if in.HasAnn(AnnNoLint) {
-		anns = append(anns, "nolint")
+		anns = append(anns, nolintTokens(in)...)
 	}
 	if len(anns) > 0 {
 		fmt.Fprintf(&sb, "  ; %s", strings.Join(anns, ","))
 	}
 	return sb.String()
+}
+
+// nolintTokens renders an instruction's nolint annotation in the comma
+// list Parse accepts: bare "nolint", or "nolint <class>" followed by the
+// remaining classes as their own tokens. Emitted last so the class list
+// cannot swallow other annotation names.
+func nolintTokens(in *Instr) []string {
+	if len(in.NoLint) == 0 {
+		return []string{"nolint"}
+	}
+	toks := []string{"nolint " + in.NoLint[0]}
+	return append(toks, in.NoLint[1:]...)
 }
 
 // Assembly renders the program in the exact syntax accepted by Parse, so
@@ -149,11 +161,15 @@ func (p *Program) Assembly() string {
 			}{
 				{AnnSIB, "sib"}, {AnnLockAcquire, "acquire"},
 				{AnnLockRelease, "release"}, {AnnWaitCheck, "waitcheck"},
-				{AnnSync, "sync"}, {AnnNoLint, "nolint"},
+				{AnnSync, "sync"},
 			} {
 				if in.HasAnn(a.bit) {
 					names = append(names, a.name)
 				}
+			}
+			if in.HasAnn(AnnNoLint) {
+				// Always last: the class list consumes the rest of the line.
+				names = append(names, nolintTokens(in)...)
 			}
 			fmt.Fprintf(&sb, " !%s", strings.Join(names, ","))
 		}

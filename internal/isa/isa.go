@@ -283,6 +283,11 @@ const (
 	// rule annotate the offending instruction, and warplint reports the
 	// finding as suppressed instead of failing. It has no effect on
 	// execution, statistics or DDOS ground truth.
+	//
+	// A bare `!nolint` suppresses every finding class at the instruction.
+	// `!nolint race,lockorder` (Instr.NoLint non-empty) restricts the
+	// suppression to the named classes, so silencing a known-benign data
+	// race cannot also mute reconvergence or dataflow findings.
 	AnnNoLint
 )
 
@@ -319,6 +324,12 @@ type Instr struct {
 	// the flag.
 	Vol bool
 	Ann Ann
+	// NoLint restricts an AnnNoLint suppression to the named finding
+	// classes (analysis category or class-group strings such as "race" or
+	// "lockorder"). Empty with AnnNoLint set means suppress everything,
+	// the pre-class behaviour. The ISA does not interpret the strings;
+	// internal/analysis matches them against its finding taxonomy.
+	NoLint []string
 }
 
 // Guarded reports whether the instruction has a guard predicate.
@@ -326,6 +337,28 @@ func (in *Instr) Guarded() bool { return in.Guard != NoGuard }
 
 // HasAnn reports whether annotation bit a is set.
 func (in *Instr) HasAnn(a Ann) bool { return in.Ann&a != 0 }
+
+// Suppresses reports whether the instruction's nolint annotation covers
+// a finding tagged with the given names (typically the finding's
+// category and its class group — a match on either suffices). Without
+// AnnNoLint nothing is suppressed; with it and an empty NoLint list
+// everything is.
+func (in *Instr) Suppresses(names ...string) bool {
+	if !in.HasAnn(AnnNoLint) {
+		return false
+	}
+	if len(in.NoLint) == 0 {
+		return true
+	}
+	for _, c := range in.NoLint {
+		for _, n := range names {
+			if c == n {
+				return true
+			}
+		}
+	}
+	return false
+}
 
 // WritesReg reports whether the instruction writes Dst.
 func (in *Instr) WritesReg() bool {

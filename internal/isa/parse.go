@@ -35,7 +35,11 @@ import (
 //	  exit
 //
 // A trailing "!a,b,c" annotates the instruction with any of: sib,
-// acquire, release, waitcheck, sync, nolint.
+// acquire, release, waitcheck, sync, nolint. A nolint token may carry a
+// finding-class list — `!nolint race,lockorder` — restricting the
+// suppression to those classes; because the classes are comma-separated
+// too, `nolint <class>` must be the last annotation on the line (every
+// token after it is read as another class).
 func Parse(name, src string) (*Program, error) {
 	b := NewBuilder(name)
 	for lineNo, raw := range strings.Split(src, "\n") {
@@ -87,13 +91,36 @@ func parseLine(b *Builder, line string) error {
 	}
 
 	// Trailing annotations: " !acquire,sync" (the bang must follow
-	// whitespace so guard negation "@!%p1" is not misparsed).
+	// whitespace so guard negation "@!%p1" is not misparsed). A
+	// "nolint <class>" token switches the rest of the list into
+	// suppression-class position: the classes are themselves
+	// comma-separated, so they are whatever follows.
 	var ann Ann
+	var nolint []string
 	if i := strings.LastIndex(line, " !"); i >= 0 {
+		inClasses := false
 		for _, nm := range strings.Split(line[i+2:], ",") {
-			bit, ok := annNames[strings.TrimSpace(nm)]
+			tok := strings.TrimSpace(nm)
+			if inClasses {
+				if !validNoLintClass(tok) {
+					return fmt.Errorf("bad nolint class %q", tok)
+				}
+				nolint = append(nolint, tok)
+				continue
+			}
+			if cls, ok := strings.CutPrefix(tok, "nolint "); ok {
+				cls = strings.TrimSpace(cls)
+				if !validNoLintClass(cls) {
+					return fmt.Errorf("bad nolint class %q", cls)
+				}
+				ann |= AnnNoLint
+				nolint = append(nolint, cls)
+				inClasses = true
+				continue
+			}
+			bit, ok := annNames[tok]
 			if !ok {
-				return fmt.Errorf("unknown annotation %q", strings.TrimSpace(nm))
+				return fmt.Errorf("unknown annotation %q", tok)
 			}
 			ann |= bit
 		}
@@ -127,6 +154,7 @@ func parseLine(b *Builder, line string) error {
 	emit := func(in Instr) {
 		in.Guard, in.GuardNeg = guard, guardNeg
 		in.Ann |= ann
+		in.NoLint = nolint
 		b.Emit(in)
 	}
 
@@ -231,6 +259,9 @@ func parseLine(b *Builder, line string) error {
 		if ann != 0 {
 			b.AnnotateLast(ann)
 		}
+		if len(nolint) > 0 {
+			b.NoLintLast(nolint...)
+		}
 	case op == "ld.global" || op == "ld.volatile" || op == "ld":
 		if len(args) != 2 {
 			return fmt.Errorf("load needs dst, [addr]")
@@ -324,6 +355,22 @@ func parseLine(b *Builder, line string) error {
 		emit(Instr{Op: o, Dst: dst, A: a, B: c})
 	}
 	return nil
+}
+
+// validNoLintClass accepts lowercase kebab-case finding-class names.
+func validNoLintClass(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z':
+		case c == '-' && i > 0 && i < len(s)-1:
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 func splitArgs(s string) []string {

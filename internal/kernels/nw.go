@@ -137,7 +137,14 @@ func NewNW(direction, g, ctaThreads int) *Kernel {
 				b.Sub(rTmp, isa.R(rLeft), isa.I(nwGap))
 				b.Max(rV, isa.R(rV), isa.R(rTmp))
 				b.Add(rTmp, isa.R(rOwnOff), isa.R(rC))
+				// Each lane owns one DP row (rOwnOff = row*stride with row
+				// an affine function of gtid); the dependency-row loads read
+				// the neighbouring band's row, one stride away. The
+				// row-times-stride product and loop-carried column make the
+				// separation non-affine for warprace, and the cross-band
+				// ordering itself is enforced by the progress flag spin.
 				b.St(isa.R(rMatB), isa.R(rTmp), isa.R(rV))
+				b.NoLintLast("race")
 				b.Mov(rLeft, isa.R(rV))
 				b.Mov(rDiag, isa.R(rUp))
 				// Publish: lane 31 signals the band's progress after its
@@ -147,7 +154,12 @@ func NewNW(direction, g, ctaThreads int) *Kernel {
 					b.Setp(isa.EQ, pSig, isa.R(rLane), isa.I(31))
 					b.If(pSig, false, func() {
 						b.Add(rTmp, isa.R(rCol), isa.I(1))
+						// Only lane 31 of each band publishes, and bands map
+						// one-to-one onto progress words; the lane==31 guard
+						// plus the spin-read pairing is a release/acquire
+						// protocol warprace's pair rule does not model.
 						b.St(isa.R(rProgB), isa.R(rBand), isa.R(rTmp))
+						b.NoLintLast("race")
 					})
 				})
 			})

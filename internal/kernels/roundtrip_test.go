@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"reflect"
 	"testing"
 
 	"warpsched/internal/isa"
@@ -23,7 +24,7 @@ func TestAssemblyRoundTrip(t *testing.T) {
 				t.Fatalf("round trip changed length: %d -> %d", len(p.Code), len(p2.Code))
 			}
 			for pc := range p.Code {
-				if p2.Code[pc] != p.Code[pc] {
+				if !reflect.DeepEqual(p2.Code[pc], p.Code[pc]) {
 					t.Errorf("pc %d differs:\n built: %s\nparsed: %s",
 						pc, isa.Disasm(&p.Code[pc]), isa.Disasm(&p2.Code[pc]))
 				}

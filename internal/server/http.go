@@ -27,9 +27,12 @@ type JobStatus struct {
 	Err string `json:"err,omitempty"`
 }
 
-// errorBody is the JSON body of every non-2xx response.
+// errorBody is the JSON body of every non-2xx response. Findings use
+// the same wire shape as `warplint -json` schema 2 (category, class,
+// pc, other_pc); Schema names that version when findings are present.
 type errorBody struct {
 	Error    string             `json:"error"`
+	Schema   int                `json:"schema,omitempty"`
 	Findings []analysis.Finding `json:"findings,omitempty"`
 }
 
@@ -85,7 +88,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, rerr := s.Submit(&req)
 	if rerr != nil {
-		writeJSON(w, rerr.Status, errorBody{Error: rerr.Msg, Findings: rerr.Findings})
+		body := errorBody{Error: rerr.Msg, Findings: rerr.Findings}
+		if len(rerr.Findings) > 0 {
+			body.Schema = 2
+		}
+		writeJSON(w, rerr.Status, body)
 		return
 	}
 	if req.Wait {

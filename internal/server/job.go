@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"warpsched/internal/analysis"
+	"warpsched/internal/analysis/race"
 	"warpsched/internal/config"
 	"warpsched/internal/exp"
 	"warpsched/internal/isa"
@@ -61,6 +62,12 @@ type JobRequest struct {
 	CTAThreads int      `json:"cta_threads,omitempty"`
 	MemWords   int      `json:"mem_words,omitempty"`
 	Params     []uint32 `json:"params,omitempty"`
+	// AllowUnsafe admits an inline program despite inter-warp race
+	// analyzer findings (data races, barrier phasing, lock discipline —
+	// see internal/analysis/race). The structural/dataflow gate still
+	// applies: a program that cannot run correctly is rejected
+	// regardless. Registered kernels never need it.
+	AllowUnsafe bool `json:"allow_unsafe,omitempty"`
 	// Config tunes the simulation; the zero value is GTO on the full
 	// Fermi machine with BOWS off.
 	Config JobConfig `json:"config"`
@@ -110,6 +117,23 @@ func (o Options) Resolve(req *JobRequest) (exp.Spec, *RequestError) {
 			return s, &RequestError{Status: 422,
 				Msg:      fmt.Sprintf("program %s failed static analysis (%d findings)", k.Name, len(rep.Findings)),
 				Findings: rep.Findings}
+		}
+		// The inter-warp pass runs at the submitted launch geometry, so
+		// e.g. a cross-CTA race only fires when grid_ctas > 1. Unlike the
+		// structural gate it has a documented escape hatch: allow_unsafe
+		// admits the program anyway (the analyzer is conservative, and a
+		// user reproducing a racy kernel on purpose needs the run).
+		if !req.AllowUnsafe {
+			rrep := race.Analyze(k.Launch.Prog, race.Options{
+				GridCTAs:   int32(k.Launch.GridCTAs),
+				CTAThreads: int32(k.Launch.CTAThreads),
+			}).Report
+			if !rrep.Clean() {
+				return s, &RequestError{Status: 422,
+					Msg: fmt.Sprintf("program %s failed race analysis (%d findings; resubmit with allow_unsafe to run anyway)",
+						k.Name, len(rrep.Findings)),
+					Findings: rrep.Findings}
+			}
 		}
 	}
 	s.Kernel = k

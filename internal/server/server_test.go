@@ -252,7 +252,50 @@ func TestBadRequests(t *testing.T) {
 	if st := s.Stats(); st.Jobs.RejectedInvalid == 0 {
 		t.Error("rejected_invalid not counted")
 	}
+
+	// Structurally sound but racy: lanes 2k and 2k+1 both store word k.
+	// The race analyzer must reject it at admission (422, schema-2
+	// findings with class "race"), and allow_unsafe must admit it.
+	racy := &JobRequest{Source: racySrc, GridCTAs: 1, CTAThreads: 64, MemWords: 64}
+	body, _ = json.Marshal(racy)
+	code, data = post(string(body))
+	if code != 422 {
+		t.Fatalf("race reject: %d (%s), want 422", code, data)
+	}
+	var rb struct {
+		Error    string `json:"error"`
+		Schema   int    `json:"schema"`
+		Findings []struct {
+			Category string `json:"category"`
+			Class    string `json:"class"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(data, &rb); err != nil || len(rb.Findings) == 0 {
+		t.Fatalf("race 422 body should carry findings: %s (%v)", data, err)
+	}
+	if rb.Schema != 2 {
+		t.Errorf("race 422 schema = %d, want 2", rb.Schema)
+	}
+	if rb.Findings[0].Category != "race" || rb.Findings[0].Class != "race" {
+		t.Errorf("race 422 finding = %+v, want category/class race", rb.Findings[0])
+	}
+
+	unsafe := &JobRequest{Source: racySrc, GridCTAs: 1, CTAThreads: 64,
+		MemWords: 64, AllowUnsafe: true, Wait: true}
+	body, _ = json.Marshal(unsafe)
+	if code, data := post(string(body)); code != 200 {
+		t.Errorf("allow_unsafe admit: %d (%s), want 200", code, data)
+	}
 }
+
+// racySrc parses and validates but has an inter-warp store/store race:
+// lanes 2k and 2k+1 both write word k of param-less memory at base 0.
+const racySrc = `
+  mov %r1, %tid
+  shr %r3, %r1, 1
+  st.global [%r3+0], %r1
+  exit
+`
 
 // TestSingleFlight submits the same job from many goroutines at once
 // and checks exactly one engine run happens, with every caller getting

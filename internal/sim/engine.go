@@ -49,6 +49,12 @@ type Options struct {
 	Profile bool
 	// Tracer, when non-nil, receives pipeline events (see internal/trace).
 	Tracer Tracer
+	// Observer, when non-nil, receives every memory access at issue time
+	// and every CTA barrier release. Observation-only: an observed run
+	// simulates identically (same cycles, stats and memory image), but a
+	// non-nil observer forces serial execution like a Tracer — a shared
+	// observer would otherwise see SM events in nondeterministic order.
+	Observer Observer
 
 	// Check enables the runtime invariant checker (internal/sim/invariants.go):
 	// every CheckEvery cycles (DefaultCheckEvery when zero) the engine
@@ -111,6 +117,19 @@ const Version = 1
 // standard implementation.
 type Tracer interface {
 	Record(trace.Event)
+}
+
+// Observer receives memory-system events for dynamic analyses (e.g. the
+// race-detection soundness harness in internal/analysis/race). Access is
+// called once per issued memory instruction, before the request enters
+// the memory system; accs is valid only for the duration of the call.
+// BarrierRelease is called after every event that releases a CTA barrier
+// — all live warps arrived, or the last straggler exited while others
+// waited — and marks a happens-before boundary between the CTA's
+// barrier intervals.
+type Observer interface {
+	Access(w *simt.Warp, pc int32, in *isa.Instr, accs []simt.MemAccess)
+	BarrierRelease(cta *simt.CTA)
 }
 
 // DefaultOptions returns GTX480 + GTO with BOWS disabled.
@@ -990,6 +1009,9 @@ func (m *smState) issue(u *smUnit, slot int, cycle int64) {
 				Kind: trace.KindBarrier, PC: res.PC})
 		}
 	case in.Op.IsMem():
+		if ob := m.eng.opt.Observer; ob != nil && len(res.Mem) > 0 {
+			ob.Access(w, res.PC, in, res.Mem)
+		}
 		m.issueMem(w, in, res, slot)
 	case in.WritesReg():
 		m.regPend[slot] |= 1 << uint(in.Dst)
@@ -998,6 +1020,10 @@ func (m *smState) issue(u *smUnit, slot int, cycle int64) {
 
 	if w.Done {
 		m.checkCTADone(w.CTA)
+	}
+	if ob := m.eng.opt.Observer; ob != nil && w.CTA.Released {
+		w.CTA.Released = false
+		ob.BarrierRelease(w.CTA)
 	}
 }
 

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"testing"
+
+	"warpsched/internal/config"
+	"warpsched/internal/isa"
+	"warpsched/internal/simt"
+)
+
+// countingObserver tallies memory accesses by op and barrier releases by
+// CTA, and snapshots per-access data to check the slice contents are
+// meaningful at call time.
+type countingObserver struct {
+	stores, loads int
+	storeAddrs    map[uint32]bool
+	releases      map[int32]int
+}
+
+func (o *countingObserver) Access(w *simt.Warp, pc int32, in *isa.Instr, accs []simt.MemAccess) {
+	switch {
+	case in.Op == isa.OpSt:
+		o.stores += len(accs)
+		for _, a := range accs {
+			o.storeAddrs[a.Addr] = true
+		}
+	case in.Op == isa.OpLd:
+		o.loads += len(accs)
+	}
+}
+
+func (o *countingObserver) BarrierRelease(cta *simt.CTA) {
+	o.releases[cta.ID]++
+}
+
+func newCountingObserver() *countingObserver {
+	return &countingObserver{storeAddrs: map[uint32]bool{}, releases: map[int32]int{}}
+}
+
+// TestObserverSeesAccessesAndReleases runs a two-interval stencil
+// (store, bar.sync, neighbour load, store) under an observer and checks
+// that every access and every barrier release is reported, and that
+// observation does not perturb the simulation.
+func TestObserverSeesAccessesAndReleases(t *testing.T) {
+	b := isa.NewBuilder("observed")
+	b.LdParam(2, 0)
+	b.LdParam(3, 1)
+	b.Mov(1, isa.S(isa.SpecGTID))
+	b.St(isa.R(2), isa.R(1), isa.R(1)) // in[gtid] = gtid
+	b.Bar()
+	b.Xor(4, isa.R(1), isa.I(1))       // neighbour within the pair
+	b.Ld(5, isa.R(2), isa.R(4))        // in[gtid^1]
+	b.St(isa.R(3), isa.R(1), isa.R(5)) // out[gtid] = neighbour
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	const ctas, threads = 2, 64
+	launch := Launch{
+		Prog: p, GridCTAs: ctas, CTAThreads: threads,
+		Params:   []uint32{0, ctas * threads},
+		MemWords: 2 * ctas * threads,
+	}
+
+	ob := newCountingObserver()
+	opt := testOptions(config.GTO)
+	opt.Observer = ob
+	eng, err := New(opt, launch)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	const n = ctas * threads
+	if ob.stores != 2*n || ob.loads != n {
+		t.Errorf("observed %d stores, %d loads; want %d, %d", ob.stores, ob.loads, 2*n, n)
+	}
+	if len(ob.storeAddrs) != 2*n {
+		t.Errorf("observed %d distinct store addresses, want %d", len(ob.storeAddrs), 2*n)
+	}
+	if len(ob.releases) != ctas {
+		t.Fatalf("releases from %d CTAs, want %d: %v", len(ob.releases), ctas, ob.releases)
+	}
+	for id, k := range ob.releases {
+		if k != 1 {
+			t.Errorf("CTA %d released %d times, want 1", id, k)
+		}
+	}
+
+	// Observation-only: the same launch without the observer must produce
+	// the same cycle count and memory image.
+	eng2, err := New(testOptions(config.GTO), launch)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res2, err := eng2.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Stats.Cycles != res2.Stats.Cycles {
+		t.Errorf("observer changed cycle count: %d vs %d", res.Stats.Cycles, res2.Stats.Cycles)
+	}
+	for i := range res.Memory {
+		if res.Memory[i] != res2.Memory[i] {
+			t.Fatalf("observer changed memory at word %d", i)
+		}
+	}
+}
+
+// TestObserverStragglerRelease covers the second release path: the last
+// non-waiting warp exits while another warp sits at a barrier, which
+// must still be reported as a release.
+func TestObserverStragglerRelease(t *testing.T) {
+	b := isa.NewBuilder("straggler")
+	b.Mov(1, isa.S(isa.SpecTID))
+	b.Setp(isa.GE, 0, isa.R(1), isa.I(32))
+	b.BraP(0, false, "out", "out") // warp 1 exits without arriving
+	b.Bar()                        // warp 0 waits here
+	b.Label("out")
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	ob := newCountingObserver()
+	opt := testOptions(config.GTO)
+	opt.Observer = ob
+	eng, err := New(opt, Launch{Prog: p, GridCTAs: 1, CTAThreads: 64, MemWords: 16})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ob.releases[0] == 0 {
+		t.Fatal("straggler exit did not report a barrier release")
+	}
+}

@@ -48,14 +48,15 @@ type shardPool struct {
 
 // newShardPool builds the worker pool for e, or returns nil when the
 // engine should tick serially: Shards ≤ 1 after clamping to the SM
-// count, or a Tracer is attached (a shared tracer must observe events in
-// deterministic SM order, which only the serial loop guarantees).
+// count, or a Tracer or Observer is attached (a shared sink must observe
+// events in deterministic SM order, which only the serial loop
+// guarantees).
 func (e *Engine) newShardPool() *shardPool {
 	n := e.opt.Shards
 	if n > len(e.sms) {
 		n = len(e.sms)
 	}
-	if n <= 1 || e.opt.Tracer != nil {
+	if n <= 1 || e.opt.Tracer != nil || e.opt.Observer != nil {
 		return nil
 	}
 	p := &shardPool{groups: make([][]*smState, n), panics: make([]any, n)}

@@ -36,6 +36,11 @@ type CTA struct {
 	waiting []*Warp
 	// liveWarps counts warps that have not fully exited.
 	liveWarps int
+	// Released latches a barrier release — every live warp arrived, or
+	// the last straggler exited while others waited. Purely
+	// observational: the engine's Observer wiring consumes and clears
+	// it; nothing else reads it.
+	Released bool
 }
 
 // Warp is one resident warp's complete architectural state.
@@ -168,6 +173,7 @@ func (c *CTA) warpFinished() {
 		}
 		c.waiting = c.waiting[:0]
 		c.arrived = 0
+		c.Released = true
 	}
 }
 
@@ -476,6 +482,7 @@ func (c *CTA) Arrive(w *Warp) bool {
 	}
 	c.waiting = c.waiting[:0]
 	c.arrived = 0
+	c.Released = true
 	return true
 }
 

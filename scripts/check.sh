@@ -31,6 +31,9 @@ go vet ./...
 echo "== warplint =="
 go run ./cmd/warplint -all
 
+echo "== golint-internal (determinism lint over the simulation core) =="
+go run ./cmd/golint-internal ./internal/sim ./internal/mem
+
 echo "== doccheck (godoc coverage) =="
 go run ./cmd/doccheck ./internal/report ./internal/exp ./internal/metrics \
     ./internal/server ./internal/sim .

@@ -46,6 +46,17 @@ curl -fs "$BASE/v1/results/$key" > "$TMP/res2.json"
 cmp "$TMP/res1.json" "$TMP/res2.json" || { echo "FAIL: result fetches differ" >&2; exit 1; }
 grep -q '"schema": 2' "$TMP/res1.json" || { echo "FAIL: result is not a schema-2 manifest" >&2; exit 1; }
 
+echo "--- racy inline submission is rejected at admission (422, race findings)"
+racy='{"source":"  mov %r1, %tid\n  shr %r3, %r1, 1\n  st.global [%r3+0], %r1\n  exit\n","grid_ctas":1,"cta_threads":64,"mem_words":64}'
+rcode="$(curl -s -o "$TMP/racy.json" -w '%{http_code}' -X POST -H 'Content-Type: application/json' -d "$racy" "$BASE/v1/jobs")"
+[ "$rcode" = 422 ] || { echo "FAIL: racy submission returned $rcode, want 422" >&2; cat "$TMP/racy.json" >&2; exit 1; }
+grep -q '"category": *"race"' "$TMP/racy.json" || { echo "FAIL: 422 body lacks race findings" >&2; cat "$TMP/racy.json" >&2; exit 1; }
+
+echo "--- the same program is admitted with allow_unsafe"
+unsafe='{"source":"  mov %r1, %tid\n  shr %r3, %r1, 1\n  st.global [%r3+0], %r1\n  exit\n","grid_ctas":1,"cta_threads":64,"mem_words":64,"allow_unsafe":true,"wait":true}'
+r3="$(curl -fs -X POST -H 'Content-Type: application/json' -d "$unsafe" "$BASE/v1/jobs")"
+echo "$r3" | grep -q '"state": "done"' || { echo "FAIL: allow_unsafe submission should run" >&2; exit 1; }
+
 echo "--- stats"
 curl -fs "$BASE/v1/stats"
 
