@@ -12,14 +12,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"warpsched/internal/exp"
 	"warpsched/internal/report"
+	"warpsched/internal/server"
 )
 
 func main() {
@@ -37,6 +41,7 @@ func main() {
 		reportDir = flag.String("report", "", "after the sweep, render the reproduction report (REPRODUCTION.md + SVG figures) from the collected manifest into this directory")
 		shards    = flag.Int("shards", 1, "tick each simulation's SMs on this many worker goroutines; output is identical for every value")
 		noFF      = flag.Bool("no-ff", false, "disable event-driven fast-forward and tick every cycle; output is identical either way")
+		remote    = flag.String("remote", "", "offload simulations to a warpsimd daemon at this base URL (e.g. http://localhost:8723); remote-unsafe experiments and unmappable runs use the local engine")
 	)
 	flag.Parse()
 
@@ -61,6 +66,31 @@ func main() {
 		defer j.Close()
 		cfg.Journal = j
 	}
+	// Remote offload adapter: one hardened client, shared across runs.
+	// Manifest collection is refused because remote outcomes carry the
+	// daemon's aggregated counters, not the per-SM snapshot records need.
+	var remoteFn func(exp.Spec) (exp.Outcome, bool)
+	if *remote != "" {
+		if *statsJSON != "" || *reportDir != "" {
+			fmt.Fprintln(os.Stderr, "experiments: -remote cannot be combined with -stats-json or -report (manifest collection needs local per-SM counters)")
+			os.Exit(1)
+		}
+		cli := server.NewClient(*remote, server.ClientOptions{})
+		var warnOnce sync.Once
+		remoteFn = func(sp exp.Spec) (exp.Outcome, bool) {
+			out, err := cli.RunSpec(context.Background(), sp)
+			if err != nil {
+				if !errors.Is(err, server.ErrNotMappable) {
+					warnOnce.Do(func() {
+						fmt.Fprintf(os.Stderr, "experiments: remote %s: %v (falling back to the local engine)\n", *remote, err)
+					})
+				}
+				return exp.Outcome{}, false
+			}
+			return out, true
+		}
+	}
+
 	var col *exp.Collector
 	if *statsJSON != "" || *reportDir != "" {
 		// The config map deliberately omits -j, -shards and -no-ff (the
@@ -92,6 +122,14 @@ func main() {
 		fmt.Printf("==== %s: %s ====\n", e.Name, e.Title)
 		t0 := time.Now()
 		cfg.Exp = e.Name
+		cfg.Remote = nil
+		if remoteFn != nil {
+			if e.RemoteSafe() {
+				cfg.Remote = remoteFn
+			} else {
+				fmt.Fprintf(os.Stderr, "experiments: %s consumes engine-only outputs; running locally\n", e.Name)
+			}
+		}
 		res, err := e.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.Name, err)

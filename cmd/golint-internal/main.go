@@ -3,15 +3,19 @@
 // not import math/rand (any randomness must come from seeded injectors
 // like mem.FaultConfig) and may not call time.Now (wall-clock reads make
 // cycle-exact replay and the content-addressed result cache unsound —
-// simulated time is the only clock). It is a plain-parser lint in the
-// style of cmd/doccheck — no type checking, no external dependencies —
-// wired into scripts/check.sh and the CI lint job over internal/sim and
-// internal/mem:
+// simulated time is the only clock). In internal/store it additionally
+// enforces the durability contract: only atomic.go may call os.Rename
+// or os.WriteFile — every other write must go through the FS interface
+// and its temp-file + fsync + rename protocol, or crash-safety and
+// fault injection silently stop covering it. It is a plain-parser lint
+// in the style of cmd/doccheck — no type checking, no external
+// dependencies — wired into scripts/check.sh and the CI lint job:
 //
-//	go run ./cmd/golint-internal ./internal/sim ./internal/mem
+//	go run ./cmd/golint-internal ./internal/sim ./internal/mem ./internal/store
 //
-// Test files are exempt: harnesses legitimately time out and shuffle.
-// Exits 1 listing each violation as file:line: message.
+// Test files are exempt: harnesses legitimately time out, shuffle and
+// corrupt files in place. Exits 1 listing each violation as
+// file:line: message.
 package main
 
 import (
@@ -57,10 +61,11 @@ func checkDir(dir string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
+	storePkg := strings.HasSuffix(strings.TrimSuffix(strings.ReplaceAll(dir, "\\", "/"), "/"), "internal/store")
 	var out []string
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
-			out = append(out, checkFile(fset, f)...)
+			out = append(out, checkFile(fset, f, storePkg)...)
 		}
 	}
 	return out, nil
@@ -69,10 +74,12 @@ func checkDir(dir string) ([]string, error) {
 // checkFile flags math/rand imports and calls through any local name of
 // the time package whose selector is Now. Import aliases are honoured,
 // so `import t "time"; t.Now()` is caught and a local variable named
-// `time` is not.
-func checkFile(fset *token.FileSet, f *ast.File) []string {
+// `time` is not. In internal/store it also flags os.Rename and
+// os.WriteFile calls outside atomic.go, which owns the write protocol.
+func checkFile(fset *token.FileSet, f *ast.File, storePkg bool) []string {
 	var out []string
 	timeNames := map[string]bool{}
+	osNames := map[string]bool{}
 	for _, imp := range f.Imports {
 		path, err := strconv.Unquote(imp.Path.Value)
 		if err != nil {
@@ -91,25 +98,44 @@ func checkFile(fset *token.FileSet, f *ast.File) []string {
 			if name != "_" && name != "." {
 				timeNames[name] = true
 			}
+		case "os":
+			name := "os"
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			if name != "_" && name != "." {
+				osNames[name] = true
+			}
 		}
 	}
-	if len(timeNames) == 0 {
+	// Bare file writes bypass the store's temp-file + fsync + rename
+	// protocol (and its FaultFS coverage); only atomic.go implements it.
+	checkOS := storePkg && len(osNames) > 0 &&
+		!strings.HasSuffix(fset.Position(f.Pos()).Filename, "atomic.go")
+	if len(timeNames) == 0 && !checkOS {
 		return out
 	}
 	ast.Inspect(f, func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)
-		if !ok || sel.Sel.Name != "Now" {
+		if !ok {
 			return true
 		}
 		id, ok := sel.X.(*ast.Ident)
 		// Obj == nil distinguishes the package name from a shadowing
 		// local declaration, which the parser resolves file-locally.
-		if !ok || !timeNames[id.Name] || id.Obj != nil {
+		if !ok || id.Obj != nil {
 			return true
 		}
 		pos := fset.Position(sel.Pos())
-		out = append(out, fmt.Sprintf("%s:%d: time.Now forbidden: simulated cycles are the only clock",
-			pos.Filename, pos.Line))
+		switch {
+		case sel.Sel.Name == "Now" && timeNames[id.Name]:
+			out = append(out, fmt.Sprintf("%s:%d: time.Now forbidden: simulated cycles are the only clock",
+				pos.Filename, pos.Line))
+		case checkOS && osNames[id.Name] &&
+			(sel.Sel.Name == "Rename" || sel.Sel.Name == "WriteFile"):
+			out = append(out, fmt.Sprintf("%s:%d: os.%s forbidden outside atomic.go: use the FS write protocol",
+				pos.Filename, pos.Line, sel.Sel.Name))
+		}
 		return true
 	})
 	return out

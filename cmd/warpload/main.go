@@ -8,6 +8,14 @@
 //	warpload -clients 1000 -requests 8000
 //	warpload -addr http://localhost:8723 -clients 256 -requests 4096
 //
+// Submissions go through the hardened client (internal/server.Client):
+// shed responses (429/503 + Retry-After) and transport faults are
+// retried with capped jittered backoff (-retries attempts per call), and
+// -hedge arms hedged result reads. Requests that still fail after every
+// retry are counted, classified and dumped as a JSON error summary on
+// stderr, and the process exits non-zero — so CI can assert both the
+// happy path and the failure contract.
+//
 // -verify re-runs every distinct job in the mix directly on the engine
 // and diffs cycles and the full counter snapshot against the daemon's
 // cached manifests — the zero-divergence check that the service layer
@@ -15,17 +23,17 @@
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 	"os"
 	"reflect"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +52,8 @@ func main() {
 		verify   = flag.Bool("verify", false, "re-run the mix directly on the engine and diff against cached manifests")
 		workers  = flag.Int("workers", 0, "in-process server worker pool size (0 = GOMAXPROCS)")
 		queue    = flag.Int("queue", 64, "in-process server queue depth")
+		retries  = flag.Int("retries", 5, "attempts per request (shed and transport failures back off and retry)")
+		hedge    = flag.Duration("hedge", 0, "hedge result reads after this delay (0 = off), e.g. 50ms")
 	)
 	flag.Parse()
 
@@ -61,8 +71,13 @@ func main() {
 		fmt.Printf("in-process server at %s\n", base)
 	}
 
-	client := &http.Client{Timeout: 10 * time.Minute,
-		Transport: &http.Transport{MaxIdleConnsPerHost: *clients}}
+	cli := server.NewClient(base, server.ClientOptions{
+		HTTP: &http.Client{Timeout: 10 * time.Minute,
+			Transport: &http.Transport{MaxIdleConnsPerHost: *clients}},
+		MaxAttempts: *retries,
+		Hedge:       *hedge,
+	})
+	rec := &errorRecorder{byClass: map[string]int{}}
 
 	if *warmup {
 		fmt.Printf("warmup: %d distinct jobs...\n", len(mix))
@@ -72,7 +87,8 @@ func main() {
 			wg.Add(1)
 			go func(r *server.JobRequest) {
 				defer wg.Done()
-				if _, _, err := submit(client, base, r); err != nil {
+				if _, _, err := submit(cli, r); err != nil {
+					rec.add(err)
 					fmt.Fprintf(os.Stderr, "warmup: %v\n", err)
 				}
 			}(&mix[i])
@@ -83,8 +99,7 @@ func main() {
 
 	fmt.Printf("load: %d clients, %d requests over a %d-job mix\n", *clients, *requests, len(mix))
 	lats := make([]time.Duration, *requests)
-	cachedCount := make([]int32, 1)
-	var errCount atomic.Int32
+	var cachedCount atomic.Int32
 	var next atomic.Int64
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -98,14 +113,14 @@ func main() {
 					return
 				}
 				t0 := time.Now()
-				_, cached, err := submit(client, base, &mix[i%len(mix)])
+				_, cached, err := submit(cli, &mix[i%len(mix)])
 				lats[i] = time.Since(t0)
 				if err != nil {
-					errCount.Add(1)
+					rec.add(err)
 					continue
 				}
 				if cached {
-					atomic.AddInt32(&cachedCount[0], 1)
+					cachedCount.Add(1)
 				}
 			}
 		}()
@@ -115,27 +130,84 @@ func main() {
 
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	pct := func(q float64) time.Duration { return lats[min(len(lats)-1, int(q*float64(len(lats))))] }
-	ok := *requests - int(errCount.Load())
-	fmt.Printf("\n%d requests in %.2fs (%.0f req/s), %d errors\n",
-		*requests, wall.Seconds(), float64(*requests)/wall.Seconds(), errCount.Load())
+	errCount := rec.count()
+	ok := *requests - errCount
+	fmt.Printf("\n%d requests in %.2fs (%.0f req/s), %d errors, %d retries\n",
+		*requests, wall.Seconds(), float64(*requests)/wall.Seconds(), errCount, cli.Retries())
 	fmt.Printf("latency  p50 %s  p90 %s  p99 %s  p99.9 %s  max %s\n",
 		pct(0.50), pct(0.90), pct(0.99), pct(0.999), lats[len(lats)-1])
 	if ok > 0 {
 		fmt.Printf("cache    %d/%d responses cached (%.1f%% hit rate)\n",
-			cachedCount[0], ok, 100*float64(cachedCount[0])/float64(ok))
+			cachedCount.Load(), ok, 100*float64(cachedCount.Load())/float64(ok))
 	}
-	dumpStats(client, base)
+	dumpStats(cli)
 
 	divergent := 0
 	if *verify {
-		divergent = verifyMix(client, base, opt, mix)
+		divergent = verifyMix(cli, opt, mix)
 	}
 	if drain != nil {
 		drain()
 	}
-	if errCount.Load() > 0 || divergent > 0 {
+	if errCount > 0 || divergent > 0 {
+		rec.dump(os.Stderr, *requests, cli, divergent)
 		os.Exit(1)
 	}
+}
+
+// errorRecorder classifies ultimate (post-retry) failures for the
+// machine-readable summary CI asserts on.
+type errorRecorder struct {
+	mu      sync.Mutex
+	errs    int
+	byClass map[string]int
+	sample  []string
+}
+
+// add classifies one failed request: API errors by HTTP status, job
+// failures and transport faults by kind.
+func (r *errorRecorder) add(err error) {
+	class := "transport"
+	var ae *server.APIError
+	if errors.As(err, &ae) {
+		class = "http_" + strconv.Itoa(ae.Status)
+	} else if errors.Is(err, errJobFailed) {
+		class = "job_failed"
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.errs++
+	r.byClass[class]++
+	if len(r.sample) < 5 {
+		r.sample = append(r.sample, err.Error())
+	}
+}
+
+func (r *errorRecorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.errs
+}
+
+// dump writes the structured failure summary as one JSON line prefixed
+// with "warpload: FAIL " — the contract scripts/service_smoke.sh greps.
+func (r *errorRecorder) dump(w *os.File, requests int, cli *server.Client, divergent int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	summary := struct {
+		Requests  int            `json:"requests"`
+		Errors    int            `json:"errors"`
+		Divergent int            `json:"divergent"`
+		Retries   int64          `json:"retries"`
+		Hedges    int64          `json:"hedges"`
+		ByClass   map[string]int `json:"by_class"`
+		Sample    []string       `json:"sample,omitempty"`
+	}{requests, r.errs, divergent, cli.Retries(), cli.Hedges(), r.byClass, r.sample}
+	data, err := json.Marshal(summary)
+	if err != nil {
+		data = []byte(`{"errors":` + strconv.Itoa(r.errs) + `}`)
+	}
+	fmt.Fprintf(w, "warpload: FAIL %s\n", data)
 }
 
 // jobMix is the golden 32-run matrix: the quick sync suite under
@@ -177,51 +249,37 @@ func startLocal(opt server.Options) (string, func(), error) {
 	return "http://" + ln.Addr().String(), drain, nil
 }
 
-// submit POSTs one synchronous job and returns its result key and
-// whether the response was served from cache.
-func submit(client *http.Client, base string, req *server.JobRequest) (key string, cached bool, err error) {
-	body, err := json.Marshal(req)
+// errJobFailed marks a job the daemon admitted and ran but that finished
+// with a simulation error.
+var errJobFailed = errors.New("job failed")
+
+// submit posts one synchronous job through the hardened client and
+// returns its result key and whether the response was served from cache.
+func submit(cli *server.Client, req *server.JobRequest) (key string, cached bool, err error) {
+	st, err := cli.Submit(context.Background(), req)
 	if err != nil {
-		return "", false, err
-	}
-	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return "", false, err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return "", false, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return "", false, fmt.Errorf("POST /v1/jobs: %s: %s", resp.Status, bytes.TrimSpace(data))
-	}
-	var st server.JobStatus
-	if err := json.Unmarshal(data, &st); err != nil {
 		return "", false, err
 	}
 	if st.Err != "" {
-		return st.Key, st.Cached, fmt.Errorf("job %s failed: %s", st.ID, st.Err)
+		return st.Key, st.Cached, fmt.Errorf("%w: job %s: %s", errJobFailed, st.ID, st.Err)
 	}
 	return st.Key, st.Cached, nil
 }
 
 // dumpStats prints the daemon's own view (GET /v1/stats).
-func dumpStats(client *http.Client, base string) {
-	resp, err := client.Get(base + "/v1/stats")
+func dumpStats(cli *server.Client) {
+	st, err := cli.Stats(context.Background())
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "stats: %v\n", err)
-		return
-	}
-	defer resp.Body.Close()
-	var st server.Stats
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		fmt.Fprintf(os.Stderr, "stats: %v\n", err)
 		return
 	}
 	fmt.Printf("server   engine runs %d, deduped %d, cache %d/%d hits (%.1f%%), evictions %d, latency p50 %dµs p99 %dµs\n",
 		st.Jobs.EngineRuns, st.Jobs.Deduped, st.Cache.Hits, st.Cache.Hits+st.Cache.Misses,
 		100*st.Cache.HitRate, st.Cache.Evictions, st.LatencyUS.P50, st.LatencyUS.P99)
+	if st.Store != nil {
+		fmt.Printf("store    %d entries (%d/%d bytes), %d hits, %d quarantined\n",
+			st.Store.Entries, st.Store.Bytes, st.Store.MaxBytes, st.Store.Hits, st.Store.Quarantined)
+	}
 }
 
 // verifyMix re-runs every distinct job directly on the engine (same
@@ -229,7 +287,7 @@ func dumpStats(client *http.Client, base string) {
 // full counter snapshot against the cached manifest. Returns the number
 // of divergent jobs (zero is the acceptance bar: the service must be a
 // transparent cache over the deterministic engine).
-func verifyMix(client *http.Client, base string, opt server.Options, mix []server.JobRequest) int {
+func verifyMix(cli *server.Client, opt server.Options, mix []server.JobRequest) int {
 	fmt.Printf("\nverify: re-running %d jobs directly on the engine...\n", len(mix))
 	divergent := 0
 	for i := range mix {
@@ -240,22 +298,20 @@ func verifyMix(client *http.Client, base string, opt server.Options, mix []serve
 			divergent++
 			continue
 		}
-		key, _, err := submit(client, base, &req)
+		key, _, err := submit(cli, &req)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
 			divergent++
 			continue
 		}
-		resp, err := client.Get(base + "/v1/results/" + key)
+		data, err := cli.Result(context.Background(), key)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "verify: fetch result: %v\n", err)
 			divergent++
 			continue
 		}
 		var m metrics.Manifest
-		err = json.NewDecoder(resp.Body).Decode(&m)
-		resp.Body.Close()
-		if err != nil || len(m.Runs) != 1 {
+		if err := json.Unmarshal(data, &m); err != nil || len(m.Runs) != 1 {
 			fmt.Fprintf(os.Stderr, "verify: manifest for %s: %v (%d runs)\n", key, err, len(m.Runs))
 			divergent++
 			continue

@@ -32,18 +32,21 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8723", "listen address")
-		workers   = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
-		queue     = flag.Int("queue", 64, "admission queue depth; beyond it submissions get HTTP 429")
-		cacheMB   = flag.Int64("cache-mb", 256, "result cache memory bound in MiB")
-		maxCycles = flag.Int64("max-cycles", 10_000_000, "per-job watchdog cycle ceiling")
-		retries   = flag.Int("retries", 1, "bounded re-runs of panicked simulations")
-		shards    = flag.Int("shards", 1, "SM shards per engine (results identical for every value)")
-		noFF      = flag.Bool("no-ff", false, "disable event-driven fast-forward (results identical either way)")
-		check     = flag.Bool("check", false, "arm runtime invariant checking and early hang aborts on every job")
-		journal   = flag.String("journal", "", "recovery journal path (empty = no crash recovery)")
-		drainSecs = flag.Int("drain-timeout", 600, "seconds to wait for in-flight jobs on shutdown")
-		quiet     = flag.Bool("quiet", false, "suppress per-job log lines")
+		addr         = flag.String("addr", ":8723", "listen address")
+		workers      = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "admission queue depth; beyond it submissions get HTTP 429")
+		cacheMB      = flag.Int64("cache-mb", 256, "result cache memory bound in MiB")
+		maxCycles    = flag.Int64("max-cycles", 10_000_000, "per-job watchdog cycle ceiling")
+		retries      = flag.Int("retries", 1, "bounded re-runs of panicked simulations")
+		shards       = flag.Int("shards", 1, "SM shards per engine (results identical for every value)")
+		noFF         = flag.Bool("no-ff", false, "disable event-driven fast-forward (results identical either way)")
+		check        = flag.Bool("check", false, "arm runtime invariant checking and early hang aborts on every job")
+		journal      = flag.String("journal", "", "recovery journal path (empty = no crash recovery)")
+		storeDir     = flag.String("store", "", "persistent result store directory (empty = memory-only cache)")
+		storeMB      = flag.Int64("store-mb", 4096, "persistent store size bound in MiB")
+		degradeAfter = flag.Int("degrade-after", 5, "consecutive saturated 1s windows before inline admission degrades to cache-only")
+		drainSecs    = flag.Int("drain-timeout", 600, "seconds to wait for in-flight jobs on shutdown")
+		quiet        = flag.Bool("quiet", false, "suppress per-job log lines")
 	)
 	flag.Parse()
 
@@ -51,6 +54,8 @@ func main() {
 		Workers: *workers, QueueDepth: *queue, CacheBytes: *cacheMB << 20,
 		MaxJobCycles: *maxCycles, Retries: *retries, Shards: *shards,
 		NoFastForward: *noFF, Check: *check, Journal: *journal,
+		StoreDir: *storeDir, StoreBytes: *storeMB << 20,
+		DegradeAfter: *degradeAfter,
 	}
 	if !*quiet {
 		opt.Log = log.Printf
@@ -65,8 +70,8 @@ func main() {
 		fatal(err)
 	}
 	httpSrv := &http.Server{Handler: s.Handler()}
-	log.Printf("warpsimd: serving on %s (workers=%d queue=%d cache=%dMiB journal=%q)",
-		ln.Addr(), opt.Workers, opt.QueueDepth, *cacheMB, *journal)
+	log.Printf("warpsimd: serving on %s (workers=%d queue=%d cache=%dMiB store=%q journal=%q)",
+		ln.Addr(), opt.Workers, opt.QueueDepth, *cacheMB, *storeDir, *journal)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()

@@ -1,12 +1,12 @@
 package exp
 
 import (
-	"strings"
 	"sync"
 
 	"warpsched/internal/config"
 	"warpsched/internal/energy"
 	"warpsched/internal/metrics"
+	"warpsched/internal/stats"
 )
 
 // Collector accumulates one metrics.RunRecord per completed simulation
@@ -126,22 +126,7 @@ func aggregateCounters(s *metrics.Snapshot) map[string]int64 {
 		if name == "engine.cycles" {
 			continue
 		}
-		out[smFold(name)] += v
+		out[stats.FoldCounterName(name)] += v
 	}
 	return out
-}
-
-func smFold(name string) string {
-	if !strings.HasPrefix(name, "sm") {
-		return name
-	}
-	rest := name[2:]
-	i := 0
-	for i < len(rest) && rest[i] >= '0' && rest[i] <= '9' {
-		i++
-	}
-	if i == 0 || i >= len(rest) || rest[i] != '.' {
-		return name
-	}
-	return rest[i+1:]
 }

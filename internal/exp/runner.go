@@ -162,11 +162,26 @@ func (c Cfg) runOne(sp *runSpec, i, n int, progress chan<- string) runOut {
 			return o
 		}
 	}
+	start := time.Now()
+	// Remote offload: a daemon serves the run when the spec maps onto the
+	// wire format (see server.SpecRequest); anything else — and any
+	// daemon failure — falls through to the local engine below. Tracer
+	// and fault-injection runs always stay local: both reach inside the
+	// engine. Remote outcomes are never journaled (see Cfg.Remote).
+	if c.Remote != nil && c.Tracer == nil && c.Faults == nil {
+		spec := Spec{GPU: sp.gpu, Sched: sp.sched, BOWS: sp.bows, DDOS: sp.ddos,
+			Kernel: sp.k, MaxCycles: sp.maxCycles, Progress: sp.progress}
+		if ro, ok := c.Remote(spec); ok {
+			o := runOut{res: ro.Res, err: ro.Err}
+			c.collect(sp, &o, float64(time.Since(start).Microseconds())/1e3)
+			c.report(sp, o, i, n, " (remote)", progress)
+			return o
+		}
+	}
 	var tr sim.Tracer
 	if c.Tracer != nil {
 		tr = c.Tracer(i)
 	}
-	start := time.Now()
 	o := c.guardedRun(sp, tr)
 	for attempt := 0; attempt < c.Retries; attempt++ {
 		var pe *PanicError

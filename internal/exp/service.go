@@ -32,6 +32,23 @@ type Spec struct {
 	Progress *atomic.Int64
 }
 
+// Normalized returns the spec with the watchdog budget resolved exactly
+// as a local run resolves it (Cfg.run): an explicit MaxCycles overrides
+// the machine's, otherwise the experiment clamp applies; the effective
+// budget lands in both MaxCycles and GPU.MaxCycles. Remote submitters
+// (internal/server.SpecRequest) need the normalized form because the
+// budget keys the result's content address.
+func (s Spec) Normalized() Spec {
+	switch {
+	case s.MaxCycles > 0:
+		s.GPU.MaxCycles = s.MaxCycles
+	case s.GPU.MaxCycles > expMaxCycles:
+		s.GPU.MaxCycles = expMaxCycles
+	}
+	s.MaxCycles = s.GPU.MaxCycles
+	return s
+}
+
 // Outcome pairs a spec's result with its error, in the same convention
 // as the runner: on a watchdog abort Res holds the partial state.
 type Outcome struct {

@@ -1,0 +1,21 @@
+// Package chaos is the fault-injection acceptance harness for the
+// warpsimd daemon: it builds the real binary, runs it as a child
+// process, and proves the durability contract under the failures that
+// matter in production —
+//
+//   - SIGKILL mid-job: no acked result is lost, the recovery journal
+//     re-runs unfinished work, and recovered manifests are byte-identical
+//     to a clean engine run (TestSIGKILLMidJobRecovers);
+//   - on-disk corruption of a persisted result: the entry is quarantined
+//     (moved, never deleted) while the daemon keeps serving, and the
+//     re-run reproduces the original bytes (TestStoreCorruptionQuarantine);
+//   - a torn or garbage recovery journal: startup salvages what parses,
+//     preserves the damaged original at <journal>.corrupt, and keeps
+//     serving (TestJournalCorruptionSalvage);
+//   - a full disk: persistence failures are counted, never acked away a
+//     result or wedged the daemon, and persistence resumes once space
+//     frees up (TestENOSPCPersistence, in-process via store.FaultFS).
+//
+// The package holds no production code; CI runs it as its own job
+// (`go test -race ./internal/server/chaos`).
+package chaos

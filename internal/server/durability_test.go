@@ -1,0 +1,314 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitDone blocks until the job finishes, with a test-failing timeout.
+func waitDone(t *testing.T, j *job) {
+	t.Helper()
+	select {
+	case <-j.done:
+	case <-time.After(time.Minute):
+		t.Fatal("job did not finish within a minute")
+	}
+}
+
+// waitRunning spins until the server has n jobs mid-simulation.
+func waitRunning(t *testing.T, s *Server, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(time.Minute)
+	for s.running.Load() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never reached %d running jobs", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStoreTierSurvivesRestart: with StoreDir set, a result computed by
+// one server incarnation is served byte-identically by the next from
+// disk, with no engine run.
+func TestStoreTierSurvivesRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	req := inlineReq(fastIters)
+
+	a := newTestServer(t, Options{Workers: 1, StoreDir: dir, DegradeInterval: -1})
+	j, rerr := a.Submit(req)
+	if rerr != nil {
+		t.Fatalf("Submit: %v", rerr)
+	}
+	waitDone(t, j)
+	if j.result.Err != "" {
+		t.Fatalf("job failed: %s", j.result.Err)
+	}
+	key, manifest := j.key, j.result.Manifest
+	// Shutdown (via Cleanup ordering we do it explicitly here) flushes
+	// the async persist queue before returning.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := a.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if st := a.Stats(); st.Jobs.Persisted != 1 {
+		t.Fatalf("Persisted = %d, want 1 (stats: %+v)", st.Jobs.Persisted, st.Jobs)
+	}
+
+	b := newTestServer(t, Options{Workers: 1, StoreDir: dir, DegradeInterval: -1})
+	j2, rerr := b.Submit(req)
+	if rerr != nil {
+		t.Fatalf("Submit on restart: %v", rerr)
+	}
+	waitDone(t, j2)
+	if !j2.cached {
+		t.Error("restart submission was not served from a cache tier")
+	}
+	if !bytes.Equal(j2.result.Manifest, manifest) {
+		t.Error("restarted result bytes differ from the original")
+	}
+	st := b.Stats()
+	if st.Jobs.EngineRuns != 0 {
+		t.Errorf("EngineRuns = %d after restart, want 0", st.Jobs.EngineRuns)
+	}
+	if st.Jobs.DiskHits != 1 {
+		t.Errorf("DiskHits = %d, want 1", st.Jobs.DiskHits)
+	}
+	if res, ok := b.Result(key); !ok || !bytes.Equal(res.Manifest, manifest) {
+		t.Error("Result() does not serve the persisted bytes")
+	}
+}
+
+// TestDeadlineShed: a deadline the queue provably cannot meet (per the
+// observed p50 service time) is rejected at admission with 429 and a
+// Retry-After hint, without occupying a queue slot.
+func TestDeadlineShed(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1, DegradeInterval: -1})
+	slow, rerr := s.Submit(inlineReq(slowIters))
+	if rerr != nil {
+		t.Fatalf("Submit slow: %v", rerr)
+	}
+	waitRunning(t, s, 1)
+	if _, rerr := s.Submit(inlineReq(fastIters)); rerr != nil {
+		t.Fatalf("Submit queued: %v", rerr)
+	}
+	// Teach the estimator a 5s p50 service time; with one queued job on
+	// one worker, the estimated start delay is one full 5s wave.
+	s.latMu.Lock()
+	s.svc.Observe(5_000_000)
+	s.latMu.Unlock()
+
+	req := inlineReq(fastIters + 1)
+	req.DeadlineMS = 10
+	_, rerr = s.Submit(req)
+	if rerr == nil {
+		t.Fatal("infeasible deadline was admitted")
+	}
+	if rerr.Status != 429 {
+		t.Errorf("status = %d, want 429", rerr.Status)
+	}
+	if rerr.RetryAfter < 1 {
+		t.Errorf("RetryAfter = %d, want >= 1", rerr.RetryAfter)
+	}
+	if !strings.Contains(rerr.Msg, "deadline") {
+		t.Errorf("message %q does not mention the deadline", rerr.Msg)
+	}
+	if got := s.Stats().Jobs.DeadlineShed; got != 1 {
+		t.Errorf("DeadlineShed = %d, want 1", got)
+	}
+	waitDone(t, slow)
+}
+
+// TestDeadlineExpiresInQueue: a job admitted optimistically (no service
+// observations yet) whose deadline passes while queued fails at dequeue
+// without an engine run.
+func TestDeadlineExpiresInQueue(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1, DegradeInterval: -1})
+	slow, rerr := s.Submit(inlineReq(slowIters))
+	if rerr != nil {
+		t.Fatalf("Submit slow: %v", rerr)
+	}
+	waitRunning(t, s, 1)
+	req := inlineReq(fastIters)
+	req.DeadlineMS = 1
+	j, rerr := s.Submit(req)
+	if rerr != nil {
+		t.Fatalf("Submit deadline job: %v", rerr)
+	}
+	waitDone(t, j)
+	if !strings.Contains(j.result.Err, "deadline exceeded") {
+		t.Errorf("result err = %q, want a deadline failure", j.result.Err)
+	}
+	st := s.Stats()
+	if st.Jobs.Expired != 1 {
+		t.Errorf("Expired = %d, want 1", st.Jobs.Expired)
+	}
+	// The expired pseudo-result must never enter a cache tier: the same
+	// request without a deadline must run the engine for real.
+	waitDone(t, slow)
+	j2, rerr := s.Submit(inlineReq(fastIters))
+	if rerr != nil {
+		t.Fatalf("resubmit: %v", rerr)
+	}
+	waitDone(t, j2)
+	if j2.result.Err != "" || j2.result.Cycles <= 0 {
+		t.Errorf("resubmission after expiry: %+v", j2.result)
+	}
+}
+
+// TestBreakerDegradesInlineAdmission: sustained saturation trips the
+// breaker; inline programs are then served only from the cache tiers
+// (503 on miss, no static analysis), and slack resets the breaker.
+func TestBreakerDegradesInlineAdmission(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1, DegradeAfter: 2, DegradeInterval: -1})
+
+	// Prime the cache with one inline result while the pool is idle.
+	primed, rerr := s.Submit(inlineReq(fastIters))
+	if rerr != nil {
+		t.Fatalf("Submit primed: %v", rerr)
+	}
+	waitDone(t, primed)
+
+	slow, rerr := s.Submit(inlineReq(slowIters))
+	if rerr != nil {
+		t.Fatalf("Submit slow: %v", rerr)
+	}
+	waitRunning(t, s, 1)
+	queued, rerr := s.Submit(inlineReq(slowIters - 1))
+	if rerr != nil {
+		t.Fatalf("Submit queued: %v", rerr)
+	}
+
+	s.sampleDegrade()
+	if s.degraded.Load() {
+		t.Fatal("breaker tripped after one window, want two")
+	}
+	s.sampleDegrade()
+	if !s.degraded.Load() {
+		t.Fatal("breaker did not trip after DegradeAfter windows")
+	}
+
+	// Uncached inline miss: rejected cache-only.
+	_, rerr = s.Submit(inlineReq(fastIters + 7))
+	if rerr == nil || rerr.Status != 503 {
+		t.Fatalf("degraded inline miss: got %v, want 503", rerr)
+	}
+	if rerr.RetryAfter < 1 {
+		t.Errorf("RetryAfter = %d, want >= 1", rerr.RetryAfter)
+	}
+	// Cached inline hit still serves.
+	hit, rerr := s.Submit(inlineReq(fastIters))
+	if rerr != nil {
+		t.Fatalf("degraded inline hit rejected: %v", rerr)
+	}
+	waitDone(t, hit)
+	if !hit.cached {
+		t.Error("degraded inline hit was not served from cache")
+	}
+	st := s.Stats()
+	if !st.Degraded || st.Jobs.RejectedDegraded != 1 || st.Jobs.DegradeTrips != 1 {
+		t.Errorf("degraded stats: %+v (degraded=%v)", st.Jobs, st.Degraded)
+	}
+
+	waitDone(t, slow)
+	waitDone(t, queued)
+	s.sampleDegrade() // pool has slack again
+	if s.degraded.Load() {
+		t.Error("breaker did not reset once the pool drained")
+	}
+}
+
+// TestJournalCompactsAtStartup: a journal full of finished admit/done
+// pairs shrinks to a max_id header on the next open, and ids are never
+// reused.
+func TestJournalCompactsAtStartup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	s := newTestServer(t, Options{Workers: 1, Journal: path, DegradeInterval: -1})
+	j, rerr := s.Submit(inlineReq(fastIters))
+	if rerr != nil {
+		t.Fatalf("Submit: %v", rerr)
+	}
+	waitDone(t, j)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	jour, unfinished, maxID, err := openJournal(path)
+	if err != nil {
+		t.Fatalf("openJournal: %v", err)
+	}
+	defer jour.Close()
+	if len(unfinished) != 0 {
+		t.Errorf("unfinished = %v, want none", unfinished)
+	}
+	if maxID != 1 {
+		t.Errorf("maxID = %d, want 1", maxID)
+	}
+	st := jour.statsSnapshot()
+	if st.LastCompactionDropped < 2 {
+		t.Errorf("LastCompactionDropped = %d, want the admit/done pair gone", st.LastCompactionDropped)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Count(data, []byte("\n"))
+	if lines != 1 || !bytes.Contains(data, []byte(`"max_id":1`)) {
+		t.Errorf("compacted journal = %q, want a single max_id line", data)
+	}
+	if st.SizeBytes != int64(len(data)) {
+		t.Errorf("SizeBytes = %d, file is %d", st.SizeBytes, len(data))
+	}
+}
+
+// TestAckedImpliesDurable: with both a journal and a store, the done
+// marker for a fresh result is written only after the bytes are on
+// disk, so a post-shutdown journal holds no unfinished work and the
+// store holds every result.
+func TestAckedImpliesDurable(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "journal.jsonl")
+	s := newTestServer(t, Options{Workers: 2, Journal: jpath,
+		StoreDir: filepath.Join(dir, "store"), DegradeInterval: -1})
+	var keys []string
+	var jobs []*job
+	for i := uint32(0); i < 4; i++ {
+		j, rerr := s.Submit(inlineReq(fastIters + i))
+		if rerr != nil {
+			t.Fatalf("Submit %d: %v", i, rerr)
+		}
+		jobs = append(jobs, j)
+		keys = append(keys, j.key)
+	}
+	for _, j := range jobs {
+		waitDone(t, j)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if st := s.Stats(); st.Jobs.Persisted != 4 || st.Jobs.PersistFailed != 0 {
+		t.Fatalf("persist stats: %+v", st.Jobs)
+	}
+	if _, unfinished, _, err := openJournal(jpath); err != nil {
+		t.Fatalf("reopen journal: %v", err)
+	} else if len(unfinished) != 0 {
+		t.Errorf("unfinished after full drain: %v", unfinished)
+	}
+
+	s2 := newTestServer(t, Options{Workers: 1, Journal: jpath,
+		StoreDir: filepath.Join(dir, "store"), DegradeInterval: -1})
+	for _, key := range keys {
+		if _, ok := s2.Result(key); !ok {
+			t.Errorf("key %s not durable across restart", key)
+		}
+	}
+}

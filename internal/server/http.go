@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+	"strconv"
 
 	"warpsched/internal/analysis"
 )
@@ -91,6 +92,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		body := errorBody{Error: rerr.Msg, Findings: rerr.Findings}
 		if len(rerr.Findings) > 0 {
 			body.Schema = 2
+		}
+		if rerr.RetryAfter > 0 {
+			// Shed responses (deadline-infeasible, queue full, breaker
+			// open) tell well-behaved clients when to come back.
+			w.Header().Set("Retry-After", strconv.Itoa(rerr.RetryAfter))
 		}
 		writeJSON(w, rerr.Status, body)
 		return

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -9,13 +10,16 @@ import (
 )
 
 // journalLine is one JSONL record in the server's recovery journal:
-// an admitted job (with its full request, so it can be resubmitted) or
-// a completion marker. On restart, admits without a matching done are
-// the jobs that were queued or running when the server died, and they
-// are re-enqueued before the listener comes up.
+// an admitted job (with its full request, so it can be resubmitted), a
+// completion marker, or the max_id header a compaction writes so
+// restarts never reuse the id of a job whose admit/done pair was
+// compacted away. On restart, admits without a matching done are the
+// jobs that were queued or running when the server died, and they are
+// re-enqueued before the listener comes up.
 type journalLine struct {
 	Admit *journalAdmit `json:"admit,omitempty"`
 	Done  string        `json:"done,omitempty"`
+	MaxID int64         `json:"max_id,omitempty"`
 }
 
 type journalAdmit struct {
@@ -23,31 +27,59 @@ type journalAdmit struct {
 	Req *JobRequest `json:"req"`
 }
 
+// JournalStats is the journal's health summary in GET /v1/stats: the
+// current file size and what the startup compaction kept, dropped and
+// salvaged.
+type JournalStats struct {
+	// SizeBytes is the journal file's current size (compacted at startup,
+	// then growing one line per admit/done until the next restart).
+	SizeBytes int64 `json:"size_bytes"`
+	// LastCompactionKept and LastCompactionDropped count journal lines
+	// kept (unfinished admits) and dropped (finished admit/done pairs and
+	// the previous max_id header) by the compaction at startup.
+	LastCompactionKept    int64 `json:"last_compaction_kept"`
+	LastCompactionDropped int64 `json:"last_compaction_dropped"`
+	// SalvagedLines counts corrupt lines skipped while reading the
+	// journal back — torn final appends and bit-flipped interior lines
+	// alike. When non-zero, the damaged original is preserved at
+	// <journal>.corrupt before compaction rewrites the file.
+	SalvagedLines int64 `json:"salvaged_lines"`
+}
+
 // journal is an append-only JSONL file of job admissions and
 // completions. Appends are serialized and flushed line-at-a-time, so a
 // crash loses at most the final, possibly torn, line — which recovery
 // tolerates (the matching job is simply re-run; determinism makes the
-// re-run identical).
+// re-run identical). On every open the journal is compacted: finished
+// admit/done pairs are dropped, unfinished admits and a max_id header
+// are rewritten through a temp file + atomic rename, so the file's size
+// tracks in-flight work instead of growing forever.
 type journal struct {
-	mu sync.Mutex
-	f  *os.File
-	w  *bufio.Writer
+	mu    sync.Mutex
+	path  string
+	f     *os.File
+	w     *bufio.Writer
+	size  int64
+	stats JournalStats // compaction fields fixed after open; size lives above
 }
 
 // openJournal opens (creating if needed) the journal at path and
 // returns it plus the admitted-but-unfinished jobs from any previous
 // incarnation, in admission order, and the highest numeric job id seen
-// anywhere in the file (admits and done markers both count, so restarts
-// never reuse the id of an already-finished job). A torn final line is
-// discarded; corruption earlier in the file is an error (the file is
-// not the one this server wrote).
+// anywhere in the file (admits, done markers and the max_id header all
+// count, so restarts never reuse the id of an already-finished job).
+// Corrupt lines — a torn final append or interior damage — are
+// salvaged around, never fatal: the damaged line's record is lost (its
+// job, if admitted, is simply not recovered), the rest of the journal
+// is kept, and the damaged original is copied to <path>.corrupt before
+// the compaction rewrite.
 func openJournal(path string) (*journal, []journalAdmit, int64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
 		return nil, nil, 0, err
 	}
 	var pending []journalAdmit
-	var maxID int64
+	var maxID, salvaged, parsed int64
 	seen := func(id string) {
 		var n int64
 		if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n > maxID {
@@ -55,31 +87,27 @@ func openJournal(path string) (*journal, []journalAdmit, int64, error) {
 		}
 	}
 	doneIdx := make(map[string]bool)
-	valid := int64(len(data)) // length of the well-formed prefix
-	if len(data) > 0 {
-		lines, starts := splitLines(data)
-		for i, line := range lines {
-			if len(line) == 0 {
-				continue
-			}
-			var jl journalLine
-			if jerr := json.Unmarshal(line, &jl); jerr != nil {
-				if i == len(lines)-1 {
-					// Torn final line from a crash mid-append: discard it
-					// (and truncate it below, so new appends do not fuse
-					// with the fragment into a corrupt line).
-					valid = int64(starts[i])
-					break
-				}
-				return nil, nil, 0, fmt.Errorf("server: journal %s: line %d corrupt: %v", path, i+1, jerr)
-			}
-			switch {
-			case jl.Admit != nil:
-				pending = append(pending, *jl.Admit)
-				seen(jl.Admit.ID)
-			case jl.Done != "":
-				doneIdx[jl.Done] = true
-				seen(jl.Done)
+	lines, _ := splitLines(data)
+	for _, line := range lines {
+		if len(line) == 0 {
+			continue
+		}
+		var jl journalLine
+		if jerr := json.Unmarshal(line, &jl); jerr != nil {
+			salvaged++
+			continue
+		}
+		parsed++
+		switch {
+		case jl.Admit != nil:
+			pending = append(pending, *jl.Admit)
+			seen(jl.Admit.ID)
+		case jl.Done != "":
+			doneIdx[jl.Done] = true
+			seen(jl.Done)
+		case jl.MaxID > 0:
+			if jl.MaxID > maxID {
+				maxID = jl.MaxID
 			}
 		}
 	}
@@ -89,21 +117,86 @@ func openJournal(path string) (*journal, []journalAdmit, int64, error) {
 			unfinished = append(unfinished, a)
 		}
 	}
+	if salvaged > 0 {
+		// Keep the damaged original for forensics before compaction
+		// overwrites it; salvage never silently destroys evidence.
+		if werr := os.WriteFile(path+".corrupt", data, 0o644); werr != nil {
+			return nil, nil, 0, fmt.Errorf("server: journal %s: save corrupt copy: %w", path, werr)
+		}
+	}
+	j := &journal{path: path}
+	j.stats.SalvagedLines = salvaged
+	if err := j.compact(unfinished, maxID, parsed); err != nil {
+		return nil, nil, 0, err
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	if valid < int64(len(data)) {
-		if err := f.Truncate(valid); err != nil {
-			f.Close()
-			return nil, nil, 0, fmt.Errorf("server: journal %s: drop torn line: %w", path, err)
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	return j, unfinished, maxID, nil
+}
+
+// compact rewrites the journal to its minimal equivalent — a max_id
+// header plus the still-unfinished admits — through a temp file and
+// atomic rename, so a crash mid-compaction leaves the previous journal
+// intact.
+func (j *journal) compact(unfinished []journalAdmit, maxID, parsed int64) error {
+	var buf bytes.Buffer
+	if maxID > 0 {
+		line, err := json.Marshal(journalLine{MaxID: maxID})
+		if err != nil {
+			return fmt.Errorf("server: journal compact: %w", err)
 		}
+		buf.Write(line)
+		buf.WriteByte('\n')
 	}
-	return &journal{f: f, w: bufio.NewWriter(f)}, unfinished, maxID, nil
+	for i := range unfinished {
+		line, err := json.Marshal(journalLine{Admit: &unfinished[i]})
+		if err != nil {
+			return fmt.Errorf("server: journal compact: %w", err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	tmp := j.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: journal compact: %w", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return fmt.Errorf("server: journal compact: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("server: journal compact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("server: journal compact: %w", err)
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		return fmt.Errorf("server: journal compact: %w", err)
+	}
+	j.size = int64(buf.Len())
+	j.stats.LastCompactionKept = int64(len(unfinished))
+	j.stats.LastCompactionDropped = parsed - int64(len(unfinished))
+	return nil
+}
+
+// statsSnapshot returns the journal's current size alongside the
+// startup-compaction summary.
+func (j *journal) statsSnapshot() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := j.stats
+	st.SizeBytes = j.size
+	return st
 }
 
 // splitLines splits data on '\n' and also returns each line's starting
-// byte offset (so a torn final line can be truncated away).
+// byte offset.
 func splitLines(data []byte) (lines [][]byte, starts []int) {
 	start := 0
 	for i, b := range data {
@@ -130,7 +223,11 @@ func (j *journal) append(jl journalLine) error {
 	if _, err := j.w.Write(append(data, '\n')); err != nil {
 		return err
 	}
-	return j.w.Flush()
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	j.size += int64(len(data) + 1)
+	return nil
 }
 
 // admit journals a job admission before it is enqueued, so a crash
@@ -139,9 +236,11 @@ func (j *journal) admit(id string, req *JobRequest) error {
 	return j.append(journalLine{Admit: &journalAdmit{ID: id, Req: req}})
 }
 
-// done journals a job completion. Results themselves live in the cache,
-// not the journal — on recovery the job is re-run (deterministically)
-// rather than restored.
+// done journals a job completion. Results themselves live in the cache
+// and the persistent store, not the journal — a store-backed server
+// writes the done marker only after the result is durably persisted, so
+// an acked result either survives on disk or its job is re-run
+// (deterministically, to identical bytes) from the journal.
 func (j *journal) done(id string) error {
 	return j.append(journalLine{Done: id})
 }

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"sync"
+	"testing"
+)
+
+func qjob(priority int, seq int64) *job {
+	return &job{priority: priority, seq: seq, done: make(chan struct{})}
+}
+
+// TestQueueOrder: higher priority pops first; equal priorities keep
+// admission (FIFO) order.
+func TestQueueOrder(t *testing.T) {
+	q := newJobQueue()
+	q.Push(qjob(0, 1))
+	q.Push(qjob(5, 2))
+	q.Push(qjob(0, 3))
+	q.Push(qjob(5, 4))
+	q.Push(qjob(-1, 5))
+	want := []int64{2, 4, 1, 3, 5}
+	for i, w := range want {
+		j, ok := q.Pop()
+		if !ok {
+			t.Fatalf("Pop %d: queue empty", i)
+		}
+		if j.seq != w {
+			t.Errorf("Pop %d: got seq %d, want %d", i, j.seq, w)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d after draining", q.Len())
+	}
+}
+
+// TestQueueCloseDrains: Close lets Pop drain queued jobs, then every
+// blocked or future Pop returns false.
+func TestQueueCloseDrains(t *testing.T) {
+	q := newJobQueue()
+	q.Push(qjob(0, 1))
+	q.Push(qjob(0, 2))
+	q.Close()
+	for i := 0; i < 2; i++ {
+		if _, ok := q.Pop(); !ok {
+			t.Fatalf("Pop %d: queue gave up before draining", i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop returned a job from a closed empty queue")
+	}
+}
+
+// TestQueueBlockedPopWakes: workers blocked in Pop wake on Push and on
+// Close.
+func TestQueueBlockedPopWakes(t *testing.T) {
+	q := newJobQueue()
+	var wg sync.WaitGroup
+	got := make(chan int64, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if j, ok := q.Pop(); ok {
+			got <- j.seq
+		}
+	}()
+	q.Push(qjob(0, 7))
+	wg.Wait()
+	if seq := <-got; seq != 7 {
+		t.Errorf("woken Pop got seq %d, want 7", seq)
+	}
+
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		if _, ok := q.Pop(); ok {
+			t.Error("Pop returned a job after Close on an empty queue")
+		}
+	}()
+	q.Close()
+	<-exited
+}

@@ -1,0 +1,236 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+
+	"warpsched/internal/config"
+	"warpsched/internal/exp"
+	"warpsched/internal/kernels"
+	"warpsched/internal/metrics"
+	"warpsched/internal/sim"
+	"warpsched/internal/stats"
+)
+
+// ErrNotMappable marks a spec the wire format cannot express: kernels
+// with host-side closures outside the registered suites, non-default
+// BOWS/DDOS parameterizations, machines that are not a (scaled)
+// GTX480/GTX1080Ti, or budgets above the default server ceiling.
+// Callers (exp.Cfg.Remote adapters) treat it as "run locally instead".
+var ErrNotMappable = errors.New("spec cannot be expressed as a job request")
+
+// SpecRequest inverts Options.Resolve: it maps an exp.Spec back to the
+// wire request whose admission resolves to the same content address.
+// The mapping is proven, not assumed — the built request is resolved
+// with the default server options and its CacheKey compared against the
+// (budget-normalized) spec's; any mismatch returns ErrNotMappable rather
+// than silently fetching the wrong result. Deterministic simulation then
+// gives the full guarantee: a daemon result for the returned request is
+// byte-for-byte the run the spec describes.
+func SpecRequest(spec exp.Spec) (*JobRequest, error) {
+	if spec.Kernel == nil || spec.Kernel.Launch.Prog == nil {
+		return nil, fmt.Errorf("%w: spec has no kernel", ErrNotMappable)
+	}
+	norm := spec.Normalized()
+	req := &JobRequest{Wait: true}
+
+	if quick, ok := registeredVariant(norm.Kernel); ok {
+		req.Kernel = norm.Kernel.Name
+		req.Config.Quick = quick
+	} else if l := norm.Kernel.Launch; l.Setup == nil && norm.Kernel.Verify == nil {
+		// Inline route: only sound when the kernel carries no host-side
+		// closures — Setup initializes memory the daemon cannot reproduce
+		// and Verify checks outputs the daemon would skip. AllowUnsafe
+		// mirrors local-sweep semantics: a sweep runs its programs without
+		// the admission race gate, so the remote must too.
+		req.Source = l.Prog.Assembly()
+		req.Name = norm.Kernel.Name
+		req.GridCTAs, req.CTAThreads = l.GridCTAs, l.CTAThreads
+		req.MemWords = l.MemWords
+		req.Params = append([]uint32(nil), l.Params...)
+		req.AllowUnsafe = true
+	} else {
+		return nil, fmt.Errorf("%w: kernel %q carries host-side Setup/Verify closures and is not in the registered suites",
+			ErrNotMappable, norm.Kernel.Name)
+	}
+
+	gpu, sms, ok := gpuRequest(norm.GPU)
+	if !ok {
+		return nil, fmt.Errorf("%w: machine %q is not a (scaled) GTX480 or GTX1080Ti", ErrNotMappable, norm.GPU.Name)
+	}
+	req.Config.GPU, req.Config.SMs = gpu, sms
+	req.Config.Sched = string(norm.Sched)
+
+	mode, delay, ok := bowsRequest(norm.BOWS)
+	if !ok {
+		return nil, fmt.Errorf("%w: non-default BOWS parameterization", ErrNotMappable)
+	}
+	req.Config.BOWS, req.Config.Delay = mode, delay
+
+	hash, ok := ddosRequest(norm.DDOS)
+	if !ok {
+		return nil, fmt.Errorf("%w: non-default DDOS parameterization", ErrNotMappable)
+	}
+	req.Config.Hash = hash
+	req.Config.MaxCycles = norm.MaxCycles
+
+	resolved, rerr := Options{}.Resolve(req)
+	if rerr != nil {
+		return nil, fmt.Errorf("%w: built request does not resolve: %v", ErrNotMappable, rerr)
+	}
+	if got, want := CacheKey(resolved), CacheKey(norm); got != want {
+		return nil, fmt.Errorf("%w: lossy mapping for kernel %q (request key %s, spec key %s)",
+			ErrNotMappable, norm.Kernel.Name, got, want)
+	}
+	return req, nil
+}
+
+// wireSuites caches the assembled kernel registries; building them per
+// spec would re-parse every program on each sweep run.
+var wireSuites struct {
+	once        sync.Once
+	full, quick []*kernels.Kernel
+}
+
+// registeredVariant reports whether the kernel is byte-identical to a
+// registered suite entry (program, geometry and parameters all equal) —
+// the condition under which naming it on the wire reproduces the run,
+// host-side closures included.
+func registeredVariant(k *kernels.Kernel) (quick, ok bool) {
+	wireSuites.once.Do(func() {
+		wireSuites.full = append(kernels.SyncSuite(), kernels.SyncFreeSuite()...)
+		wireSuites.quick = append(kernels.QuickSyncSuite(), kernels.QuickSyncFreeSuite()...)
+	})
+	match := func(c *kernels.Kernel) bool {
+		return c.Name == k.Name &&
+			c.Launch.GridCTAs == k.Launch.GridCTAs &&
+			c.Launch.CTAThreads == k.Launch.CTAThreads &&
+			c.Launch.MemWords == k.Launch.MemWords &&
+			reflect.DeepEqual(c.Launch.Params, k.Launch.Params) &&
+			c.Launch.Prog.Assembly() == k.Launch.Prog.Assembly()
+	}
+	for _, c := range wireSuites.full {
+		if match(c) {
+			return false, true
+		}
+	}
+	for _, c := range wireSuites.quick {
+		if match(c) {
+			return true, true
+		}
+	}
+	return false, false
+}
+
+// gpuRequest maps a machine back to its wire name and SM override. The
+// budget is neutralized before comparison — it rides in max_cycles, not
+// in the machine selection.
+func gpuRequest(g config.GPU) (name string, sms int, ok bool) {
+	for _, b := range []struct {
+		name string
+		gpu  config.GPU
+	}{{"fermi", config.GTX480()}, {"pascal", config.GTX1080Ti()}} {
+		cand, n := b.gpu, 0
+		if g.NumSMs != cand.NumSMs {
+			n = g.NumSMs
+			cand = cand.Scaled(n)
+		}
+		cand.MaxCycles = g.MaxCycles
+		if reflect.DeepEqual(cand, g) {
+			return b.name, n, true
+		}
+	}
+	return "", 0, false
+}
+
+// bowsRequest maps a BOWS configuration back to the wire's mode + delay
+// vocabulary (off, the paper's adaptive default, or a fixed limit).
+func bowsRequest(b config.BOWS) (mode string, delay *int64, ok bool) {
+	if reflect.DeepEqual(b, config.BOWS{Mode: config.BOWSOff}) {
+		return "off", nil, true
+	}
+	switch b.Mode {
+	case config.BOWSDDOS:
+		mode = "ddos"
+	case config.BOWSStatic:
+		mode = "static"
+	default:
+		return "", nil, false
+	}
+	cand := config.DefaultBOWS()
+	cand.Mode = b.Mode
+	if reflect.DeepEqual(cand, b) {
+		return mode, nil, true
+	}
+	fixed := config.FixedBOWS(b.DelayLimit)
+	fixed.Mode = b.Mode
+	if reflect.DeepEqual(fixed, b) {
+		d := b.DelayLimit
+		return mode, &d, true
+	}
+	return "", nil, false
+}
+
+// ddosRequest maps a detector configuration back to the wire's hash
+// selector (the only DDOS dimension the API exposes).
+func ddosRequest(d config.DDOS) (hash string, ok bool) {
+	if reflect.DeepEqual(d, config.DefaultDDOS()) {
+		return "", true
+	}
+	cand := config.DefaultDDOS()
+	cand.Hash = "MODULO"
+	if reflect.DeepEqual(cand, d) {
+		return "MODULO", true
+	}
+	return "", false
+}
+
+// RunSpec submits the spec as a synchronous job and rebuilds the
+// sweep-facing outcome from the daemon's result manifest: headline
+// cycles plus every manifest counter (stats.FromCounters), with the
+// run's error string rehydrated — the same partial-result convention a
+// watchdog abort has locally. Engine-only outputs (memory image,
+// detection metrics, per-SM state) are not on the wire; see
+// exp.Experiment.RemoteSafe for who may consume such an outcome.
+// Mapping failures wrap ErrNotMappable so callers can fall back to the
+// local engine.
+func (c *Client) RunSpec(ctx context.Context, spec exp.Spec) (exp.Outcome, error) {
+	req, err := SpecRequest(spec)
+	if err != nil {
+		return exp.Outcome{}, err
+	}
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		return exp.Outcome{}, err
+	}
+	data, err := c.Result(ctx, st.Key)
+	if err != nil {
+		return exp.Outcome{}, err
+	}
+	return outcomeFromManifest(data)
+}
+
+// outcomeFromManifest rebuilds an Outcome from a single-run result
+// manifest.
+func outcomeFromManifest(data []byte) (exp.Outcome, error) {
+	var m metrics.Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return exp.Outcome{}, fmt.Errorf("parse result manifest: %w", err)
+	}
+	if len(m.Runs) != 1 {
+		return exp.Outcome{}, fmt.Errorf("result manifest has %d runs, want 1", len(m.Runs))
+	}
+	rec := m.Runs[0]
+	var out exp.Outcome
+	if rec.Counters != nil {
+		out.Res = &sim.Result{Stats: *stats.FromCounters(rec.Cycles, rec.Counters)}
+	}
+	if rec.Err != "" {
+		out.Err = errors.New(rec.Err)
+	}
+	return out, nil
+}

@@ -1,0 +1,220 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"warpsched/internal/config"
+	"warpsched/internal/exp"
+	"warpsched/internal/kernels"
+)
+
+// bowsOff mirrors the harness's BOWS-disabled configuration.
+func bowsOff() config.BOWS { return config.BOWS{Mode: config.BOWSOff} }
+
+// TestSpecRequestRegistered: a sweep spec over a registered kernel maps
+// back to the kernel-by-name wire route, with quick/full, machine scale,
+// scheduler, BOWS mode and the clamped budget all recovered.
+func TestSpecRequestRegistered(t *testing.T) {
+	quick := kernels.QuickSyncSuite()[0]
+	spec := exp.Spec{GPU: config.GTX480().Scaled(2), Sched: config.GTO,
+		BOWS: bowsOff(), DDOS: config.DefaultDDOS(), Kernel: quick}
+	req, err := SpecRequest(spec)
+	if err != nil {
+		t.Fatalf("SpecRequest: %v", err)
+	}
+	if req.Kernel != quick.Name || req.Source != "" || !req.Config.Quick {
+		t.Errorf("kernel route: %+v", req)
+	}
+	if req.Config.GPU != "fermi" || req.Config.SMs != 2 {
+		t.Errorf("machine: gpu=%q sms=%d", req.Config.GPU, req.Config.SMs)
+	}
+	if req.Config.Sched != "GTO" || req.Config.BOWS != "off" || req.Config.Delay != nil {
+		t.Errorf("policies: %+v", req.Config)
+	}
+	// GTX480's 200M default clamps to the experiment budget, which the
+	// server re-admits as the job ceiling.
+	if req.Config.MaxCycles != 10_000_000 {
+		t.Errorf("MaxCycles = %d, want the 10M experiment clamp", req.Config.MaxCycles)
+	}
+
+	full := kernels.SyncSuite()[0]
+	spec.Kernel = full
+	req, err = SpecRequest(spec)
+	if err != nil {
+		t.Fatalf("SpecRequest full-size: %v", err)
+	}
+	if req.Kernel != full.Name || req.Config.Quick {
+		t.Errorf("full-size kernel mapped to quick: %+v", req)
+	}
+
+	// The paper's adaptive BOWS and a fixed-delay variant.
+	spec.BOWS = config.DefaultBOWS()
+	req, err = SpecRequest(spec)
+	if err != nil {
+		t.Fatalf("SpecRequest adaptive BOWS: %v", err)
+	}
+	if req.Config.BOWS != "ddos" || req.Config.Delay != nil {
+		t.Errorf("adaptive BOWS: %+v", req.Config)
+	}
+	spec.BOWS = config.FixedBOWS(500)
+	req, err = SpecRequest(spec)
+	if err != nil {
+		t.Fatalf("SpecRequest fixed BOWS: %v", err)
+	}
+	if req.Config.BOWS != "ddos" || req.Config.Delay == nil || *req.Config.Delay != 500 {
+		t.Errorf("fixed BOWS: %+v", req.Config)
+	}
+}
+
+// TestSpecRequestInlineRoundTrip: a spec resolved from an inline request
+// maps back to an inline request with the same content address.
+func TestSpecRequestInlineRoundTrip(t *testing.T) {
+	orig := inlineReq(fastIters)
+	spec, rerr := Options{}.Resolve(orig)
+	if rerr != nil {
+		t.Fatalf("Resolve: %v", rerr)
+	}
+	req, err := SpecRequest(spec)
+	if err != nil {
+		t.Fatalf("SpecRequest: %v", err)
+	}
+	if req.Source == "" || req.Kernel != "" {
+		t.Fatalf("inline spec did not map to the inline route: %+v", req)
+	}
+	spec2, rerr := Options{}.Resolve(req)
+	if rerr != nil {
+		t.Fatalf("re-resolve: %v", rerr)
+	}
+	if CacheKey(spec2) != CacheKey(spec) {
+		t.Errorf("round-trip key %s != %s", CacheKey(spec2), CacheKey(spec))
+	}
+}
+
+// TestSpecRequestNotMappable: specs the wire cannot express — modified
+// registered kernels with host closures, non-default BOWS/DDOS
+// parameterizations, hand-edited machines — all fail with
+// ErrNotMappable instead of mapping to the wrong result.
+func TestSpecRequestNotMappable(t *testing.T) {
+	base := func() exp.Spec {
+		return exp.Spec{GPU: config.GTX480().Scaled(2), Sched: config.GTO,
+			BOWS: bowsOff(), DDOS: config.DefaultDDOS(),
+			Kernel: kernels.QuickSyncSuite()[0]}
+	}
+
+	// A registered kernel with altered launch parameters is no longer the
+	// suite entry, and its Setup/Verify closures cannot go on the wire.
+	spec := base()
+	clone := *spec.Kernel
+	clone.Launch.Params = append(append([]uint32(nil), clone.Launch.Params...), 12345)
+	spec.Kernel = &clone
+	if clone.Launch.Setup == nil && clone.Verify == nil {
+		t.Skip("suite kernel has no host-side closures; inline route would legitimately map it")
+	}
+	if _, err := SpecRequest(spec); !errors.Is(err, ErrNotMappable) {
+		t.Errorf("altered kernel: err = %v, want ErrNotMappable", err)
+	}
+
+	spec = base()
+	spec.BOWS = config.DefaultBOWS()
+	spec.BOWS.WindowCycles++
+	if _, err := SpecRequest(spec); !errors.Is(err, ErrNotMappable) {
+		t.Errorf("non-default BOWS: err = %v, want ErrNotMappable", err)
+	}
+
+	spec = base()
+	spec.DDOS.PathBits++
+	if _, err := SpecRequest(spec); !errors.Is(err, ErrNotMappable) {
+		t.Errorf("non-default DDOS: err = %v, want ErrNotMappable", err)
+	}
+
+	spec = base()
+	spec.GPU.WarpsPerSM++
+	if _, err := SpecRequest(spec); !errors.Is(err, ErrNotMappable) {
+		t.Errorf("hand-edited machine: err = %v, want ErrNotMappable", err)
+	}
+}
+
+// TestRunSpecEndToEnd: RunSpec against a live daemon returns the same
+// cycle count as a direct local run, and a second submission is served
+// without another engine run.
+func TestRunSpecEndToEnd(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1, DegradeInterval: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	cli := NewClient(ts.URL, ClientOptions{})
+
+	spec, rerr := Options{}.Resolve(inlineReq(fastIters))
+	if rerr != nil {
+		t.Fatalf("Resolve: %v", rerr)
+	}
+	out, err := cli.RunSpec(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("RunSpec: %v", err)
+	}
+	if out.Err != nil || out.Res == nil || out.Res.Stats.Cycles <= 0 {
+		t.Fatalf("remote outcome: res=%v err=%v", out.Res, out.Err)
+	}
+
+	local := exp.Cfg{Jobs: 1}.Execute([]exp.Spec{spec})[0]
+	if local.Err != nil {
+		t.Fatalf("local run: %v", local.Err)
+	}
+	if out.Res.Stats.Cycles != local.Res.Stats.Cycles {
+		t.Errorf("remote cycles %d != local %d", out.Res.Stats.Cycles, local.Res.Stats.Cycles)
+	}
+	// Counter reconstruction must fold the manifest's per-SM names into
+	// machine totals — every derived metric the experiments consume
+	// (instruction counts, sync events, memory traffic) depends on it.
+	if got, want := out.Res.Stats.WarpInstrs, local.Res.Stats.WarpInstrs; got != want || got == 0 {
+		t.Errorf("remote WarpInstrs %d != local %d (want nonzero)", got, want)
+	}
+	if got, want := out.Res.Stats.IssueCycles, local.Res.Stats.IssueCycles; got != want || got == 0 {
+		t.Errorf("remote IssueCycles %d != local %d (want nonzero)", got, want)
+	}
+	if out.Res.Stats.Sync != local.Res.Stats.Sync {
+		t.Errorf("remote sync events %+v != local %+v", out.Res.Stats.Sync, local.Res.Stats.Sync)
+	}
+	if out.Res.Stats.Mem != local.Res.Stats.Mem {
+		t.Errorf("remote mem stats %+v != local %+v", out.Res.Stats.Mem, local.Res.Stats.Mem)
+	}
+
+	again, err := cli.RunSpec(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("RunSpec (cached): %v", err)
+	}
+	if again.Res.Stats.Cycles != out.Res.Stats.Cycles {
+		t.Errorf("cached remote cycles %d != %d", again.Res.Stats.Cycles, out.Res.Stats.Cycles)
+	}
+	if runs := s.Stats().Jobs.EngineRuns; runs != 1 {
+		t.Errorf("EngineRuns = %d, want 1 (second submission cached)", runs)
+	}
+}
+
+// TestRunSpecWatchdogOutcome: a remote watchdog abort comes back in the
+// local convention — error set, partial result attached.
+func TestRunSpecWatchdogOutcome(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 1, DegradeInterval: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	cli := NewClient(ts.URL, ClientOptions{})
+
+	req := inlineReq(slowIters)
+	req.Config.MaxCycles = 2000
+	spec, rerr := Options{}.Resolve(req)
+	if rerr != nil {
+		t.Fatalf("Resolve: %v", rerr)
+	}
+	out, err := cli.RunSpec(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("RunSpec: %v", err)
+	}
+	if out.Err == nil {
+		t.Fatal("watchdog abort came back clean")
+	}
+	if out.Res == nil || out.Res.Stats.Cycles <= 0 {
+		t.Errorf("partial result missing: %+v", out.Res)
+	}
+}

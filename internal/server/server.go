@@ -9,6 +9,17 @@
 // submissions collapse to one engine run (single-flight), a bounded
 // queue sheds load with 429, and an append-only journal makes queued
 // and running jobs recoverable across restarts.
+//
+// With Options.StoreDir set, a persistent content-addressed store
+// (internal/store) backs the in-memory cache as a second, durable tier:
+// misses read through to disk (promoting hits into memory), fresh engine
+// results write through asynchronously, and the journal's done marker is
+// written only after the result is durable — so every acked result
+// either survives restart on disk or is re-run deterministically from
+// the journal. Jobs may carry a deadline and priority; work that
+// provably cannot start in time is shed at admission with 429 +
+// Retry-After, and a saturation breaker degrades inline-program
+// admission to cache-only while the pool is overloaded.
 package server
 
 import (
@@ -24,6 +35,7 @@ import (
 	"warpsched/internal/exp"
 	"warpsched/internal/metrics"
 	"warpsched/internal/sim"
+	"warpsched/internal/store"
 )
 
 // Options configures a Server. The zero value is usable: New fills
@@ -60,6 +72,28 @@ type Options struct {
 	// journal: admitted jobs are logged before they run and marked done
 	// after, and on startup unfinished entries are re-enqueued.
 	Journal string
+	// StoreDir, when non-empty, enables the persistent result store: a
+	// durable content-addressed tier behind the in-memory cache, written
+	// via temp-file + fsync + atomic rename, GC'd by access order, and
+	// recovered (corrupt entries quarantined) at startup.
+	StoreDir string
+	// StoreBytes bounds the persistent store's on-disk footprint
+	// (default 4 GiB).
+	StoreBytes int64
+	// StoreFS overrides the store's filesystem; the chaos harness
+	// injects store.FaultFS here to simulate ENOSPC, torn writes and
+	// failed renames. Nil means the real filesystem.
+	StoreFS store.FS
+	// DegradeAfter is the saturation breaker's threshold: after this
+	// many consecutive saturated sampling windows (every worker busy and
+	// the queue non-empty), inline-program admission degrades to
+	// cache-only — static analysis is skipped and misses are rejected
+	// with 503 — until a window observes slack (default 5).
+	DegradeAfter int
+	// DegradeInterval is the breaker's sampling period (default 1s).
+	// Negative disables the sampler goroutine; tests then drive
+	// sampleDegrade directly for deterministic breaker coverage.
+	DegradeInterval time.Duration
 	// Log, when non-nil, receives one line per notable server event.
 	Log func(format string, args ...any)
 }
@@ -83,6 +117,12 @@ func (o Options) withDefaults() Options {
 	if o.Retries <= 0 {
 		o.Retries = 1
 	}
+	if o.DegradeAfter <= 0 {
+		o.DegradeAfter = 5
+	}
+	if o.DegradeInterval == 0 {
+		o.DegradeInterval = time.Second
+	}
 	return o
 }
 
@@ -102,12 +142,23 @@ type job struct {
 	ids      []string
 	key      string
 	spec     exp.Spec
-	state    jobState // guarded by Server.mu
-	cached   bool     // result came from the cache, no engine run
+	state    jobState  // guarded by Server.mu
+	cached   bool      // result came from a cache tier, no engine run
+	deadline time.Time // zero = none; guarded by Server.mu (attach extends)
+	priority int
+	seq      int64
 	progress atomic.Int64
 	admitted time.Time
 	result   *CachedResult // set before done is closed
 	done     chan struct{}
+}
+
+// persistReq is one fresh result on its way to the durable store; the
+// job's journal ids ride along so the done markers are written only
+// after the bytes are on disk.
+type persistReq struct {
+	res *CachedResult
+	ids []string
 }
 
 // Server is the warpsimd daemon core. Create with New, expose via
@@ -115,25 +166,37 @@ type job struct {
 type Server struct {
 	opt   Options
 	cache *Cache
+	disk  *store.Store // nil without StoreDir
 	jour  *journal
 
 	mu     sync.Mutex
 	jobs   map[string]*job // every admitted job, by id
 	byKey  map[string]*job // queued/running jobs, by cache key (single-flight)
 	nextID int64
-	queue  chan *job
+	seq    int64
+	queue  *jobQueue
 	drain  bool
+
+	persistCh chan persistReq
+	persistWG sync.WaitGroup
 
 	wg      sync.WaitGroup
 	start   time.Time
+	stop    chan struct{} // closed at Shutdown; stops the breaker sampler
 	running atomic.Int64
 
 	latMu   sync.Mutex
 	latency *metrics.Histogram
+	svc     *metrics.Histogram // engine-run service time (no queueing)
+
+	degraded  atomic.Bool
+	satStreak int // breaker sampler state; single-goroutine
 
 	admitted, completed, failed, deduped   atomic.Int64
 	rejectedFull, rejectedInvalid, engRuns atomic.Int64
-	recovered                              atomic.Int64
+	recovered, deadlineShed, expired       atomic.Int64
+	persisted, persistFailed, diskHits     atomic.Int64
+	degradeTrips, rejectedDegraded         atomic.Int64
 }
 
 // latencyBounds is a 1-2-5 log series from 100µs to 1000s, the bucket
@@ -147,20 +210,37 @@ func latencyBounds() []int64 {
 	return append(out, 1_000_000_000)
 }
 
-// New builds a server, replays the recovery journal (re-enqueueing jobs
-// that were admitted but unfinished when the previous incarnation
-// died), and starts the worker pool.
+// New builds a server, opens the persistent store (quarantining any
+// entries damaged since the last run), replays the recovery journal
+// (re-enqueueing jobs that were admitted but unfinished when the
+// previous incarnation died), and starts the worker pool, the result
+// persister, and the saturation breaker's sampler.
 func New(opt Options) (*Server, error) {
 	opt = opt.withDefaults()
 	s := &Server{
-		opt:   opt,
-		cache: NewCache(opt.CacheBytes),
-		jobs:  make(map[string]*job),
-		byKey: make(map[string]*job),
-		start: time.Now(),
+		opt:       opt,
+		cache:     NewCache(opt.CacheBytes),
+		jobs:      make(map[string]*job),
+		byKey:     make(map[string]*job),
+		queue:     newJobQueue(),
+		persistCh: make(chan persistReq, opt.Workers),
+		stop:      make(chan struct{}),
+		start:     time.Now(),
 	}
 	reg := metrics.NewRegistry()
 	s.latency = reg.Histogram("server.latency_us", latencyBounds())
+	s.svc = reg.Histogram("server.service_us", latencyBounds())
+
+	if opt.StoreDir != "" {
+		disk, rep, err := store.Open(opt.StoreDir, store.Options{
+			MaxBytes: opt.StoreBytes, FS: opt.StoreFS, Log: opt.Log})
+		if err != nil {
+			return nil, fmt.Errorf("server: open store: %w", err)
+		}
+		s.disk = disk
+		s.logf("store: %s recovered %d/%d entries (%d quarantined, %d evicted at open)",
+			opt.StoreDir, rep.Recovered, rep.Scanned, len(rep.Quarantined), rep.EvictedAtOpen)
+	}
 
 	var pending []journalAdmit
 	if opt.Journal != "" {
@@ -170,9 +250,6 @@ func New(opt Options) (*Server, error) {
 			return nil, fmt.Errorf("server: open journal: %w", err)
 		}
 	}
-	// Size the queue to hold every recovered job on top of the normal
-	// bound, so replay can never trip the 429 path.
-	s.queue = make(chan *job, opt.QueueDepth+len(pending))
 	for _, a := range pending {
 		s.recover(a)
 	}
@@ -180,12 +257,18 @@ func New(opt Options) (*Server, error) {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	s.persistWG.Add(1)
+	go s.persister()
+	if opt.DegradeInterval > 0 {
+		go s.degradeSampler()
+	}
 	return s, nil
 }
 
 // recover re-admits one journaled job under its original id. Requests
 // that no longer validate (e.g. a ceiling was lowered) are dropped with
-// a done marker so they stop reappearing.
+// a done marker so they stop reappearing. Deadlines are not replayed —
+// wall time has moved on arbitrarily — but priorities are.
 func (s *Server) recover(a journalAdmit) {
 	spec, rerr := s.opt.Resolve(a.Req)
 	if rerr != nil {
@@ -202,12 +285,14 @@ func (s *Server) recover(a journalAdmit) {
 		s.journalDone(a.ID)
 		return
 	}
+	s.seq++
 	j := &job{ids: []string{a.ID}, key: key, spec: spec, state: stateQueued,
+		priority: a.Req.Priority, seq: s.seq,
 		admitted: time.Now(), done: make(chan struct{})}
 	j.spec.Progress = &j.progress
 	s.jobs[a.ID] = j
 	s.byKey[key] = j
-	s.queue <- j
+	s.queue.Push(j)
 	s.recovered.Add(1)
 	s.logf("journal: recovered job %s (%s)", a.ID, key)
 }
@@ -228,39 +313,89 @@ func (s *Server) cfg() exp.Cfg {
 
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
 		s.runJob(j)
 	}
 }
 
-// runJob executes one queued job (or resolves it from the cache — the
-// recovery path can enqueue a key that a later run already filled),
-// stores the result, and wakes every waiter.
+// fetch looks a key up in both cache tiers: memory first, then the
+// persistent store, promoting a disk hit into memory so the bytes
+// served stay identical across tiers (the stored payload is the
+// manifest verbatim).
+func (s *Server) fetch(key string) (*CachedResult, bool) {
+	if res, ok := s.cache.Get(key); ok {
+		return res, true
+	}
+	if s.disk == nil {
+		return nil, false
+	}
+	payload, ok := s.disk.Get(key)
+	if !ok {
+		return nil, false
+	}
+	res, err := resultFromManifest(key, payload)
+	if err != nil {
+		// Checksum-valid but semantically unparsable: treat as a miss and
+		// leave the entry for operator inspection.
+		s.logf("store: entry %s unparsable: %v", key, err)
+		return nil, false
+	}
+	s.diskHits.Add(1)
+	s.cache.Put(res)
+	return res, true
+}
+
+// resultFromManifest rebuilds a CachedResult from a persisted manifest:
+// the payload bytes are kept verbatim (byte-identical serving) and the
+// headline cycles/error are recovered from the manifest's single run.
+func resultFromManifest(key string, payload []byte) (*CachedResult, error) {
+	var m metrics.Manifest
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, err
+	}
+	if len(m.Runs) != 1 {
+		return nil, fmt.Errorf("want 1 run, got %d", len(m.Runs))
+	}
+	return &CachedResult{Key: key, Cycles: m.Runs[0].Cycles,
+		Err: m.Runs[0].Err, Manifest: payload}, nil
+}
+
+// runJob executes one queued job (or resolves it from a cache tier —
+// the recovery path can enqueue a key that a later run already filled),
+// stores the result, and wakes every waiter. Jobs whose deadline passed
+// while queued are failed without an engine run.
 func (s *Server) runJob(j *job) {
 	s.mu.Lock()
 	j.state = stateRunning
+	deadline := j.deadline
 	s.mu.Unlock()
 	s.running.Add(1)
 	defer s.running.Add(-1)
 
-	res, ok := s.cache.Get(j.key)
-	cached := ok
-	if !ok {
-		s.engRuns.Add(1)
-		out := s.cfg().Execute([]exp.Spec{j.spec})[0]
-		res = buildResult(j.key, j.spec, out)
-		s.cache.Put(res)
+	if !deadline.IsZero() && time.Now().After(deadline) {
+		s.expired.Add(1)
+		s.finish(j, &CachedResult{Key: j.key,
+			Err: "deadline exceeded before start"}, false, false)
+		return
 	}
 
-	s.mu.Lock()
-	j.result = res
-	j.cached = cached
-	j.state = stateDone
-	delete(s.byKey, j.key)
-	s.mu.Unlock()
-	close(j.done)
-
-	s.completed.Add(1)
+	res, cached := s.fetch(j.key)
+	fresh := false
+	if !cached {
+		s.engRuns.Add(1)
+		t0 := time.Now()
+		out := s.cfg().Execute([]exp.Spec{j.spec})[0]
+		s.latMu.Lock()
+		s.svc.Observe(time.Since(t0).Microseconds())
+		s.latMu.Unlock()
+		res = buildResult(j.key, j.spec, out)
+		s.cache.Put(res)
+		fresh = true
+	}
 	if res.Err != "" {
 		s.failed.Add(1)
 	}
@@ -268,11 +403,54 @@ func (s *Server) runJob(j *job) {
 	s.latMu.Lock()
 	s.latency.Observe(us)
 	s.latMu.Unlock()
+	s.finish(j, res, cached, fresh)
+	s.logf("job %s done: %s cycles=%d err=%q (%.1f ms)",
+		j.ids[0], j.key, res.Cycles, res.Err, float64(us)/1e3)
+}
+
+// finish publishes a job's result and settles its journal entries. A
+// fresh engine result on a store-backed server is handed to the
+// persister, which writes the journal done markers only after the bytes
+// are durable — the acked-implies-durable half of the recovery
+// invariant (the other half: an undurable job still has its journal
+// admit, so a crash re-runs it deterministically).
+func (s *Server) finish(j *job, res *CachedResult, cached, fresh bool) {
+	s.mu.Lock()
+	j.result = res
+	j.cached = cached
+	j.state = stateDone
+	delete(s.byKey, j.key)
+	s.mu.Unlock()
+	close(j.done)
+	s.completed.Add(1)
+
+	if fresh && s.disk != nil {
+		s.persistCh <- persistReq{res: res, ids: j.ids}
+		return
+	}
 	for _, id := range j.ids {
 		s.journalDone(id)
 	}
-	s.logf("job %s done: %s cycles=%d err=%q (%.1f ms)",
-		j.ids[0], j.key, res.Cycles, res.Err, float64(us)/1e3)
+}
+
+// persister is the single write-behind goroutine draining fresh results
+// into the persistent store. Persist failures (e.g. ENOSPC) are logged
+// and counted but still settle the journal: the result remains served
+// from memory, and losing it at a crash is indistinguishable from an
+// eviction — the job re-runs deterministically on resubmission.
+func (s *Server) persister() {
+	defer s.persistWG.Done()
+	for p := range s.persistCh {
+		if err := s.disk.Put(p.res.Key, p.res.Manifest); err != nil {
+			s.persistFailed.Add(1)
+			s.logf("store: persist %s: %v", p.res.Key, err)
+		} else {
+			s.persisted.Add(1)
+		}
+		for _, id := range p.ids {
+			s.journalDone(id)
+		}
+	}
 }
 
 func (s *Server) journalDone(id string) {
@@ -284,10 +462,49 @@ func (s *Server) journalDone(id string) {
 	}
 }
 
+// degradeSampler drives the saturation breaker on a wall-clock period.
+func (s *Server) degradeSampler() {
+	t := time.NewTicker(s.opt.DegradeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.sampleDegrade()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// sampleDegrade takes one breaker sample: a window is saturated when
+// every worker is mid-simulation and jobs are still queued behind them.
+// DegradeAfter consecutive saturated windows trip the breaker (inline
+// admission degrades to cache-only, skipping static analysis); the
+// first window with slack resets it. Tests with DegradeInterval < 0
+// call this directly for deterministic schedules.
+func (s *Server) sampleDegrade() {
+	saturated := s.running.Load() >= int64(s.opt.Workers) && s.queue.Len() > 0
+	if !saturated {
+		if s.degraded.Load() {
+			s.logf("breaker: pool has slack; inline admission restored")
+		}
+		s.satStreak = 0
+		s.degraded.Store(false)
+		return
+	}
+	s.satStreak++
+	if s.satStreak >= s.opt.DegradeAfter && !s.degraded.Load() {
+		s.degraded.Store(true)
+		s.degradeTrips.Add(1)
+		s.logf("breaker: %d consecutive saturated windows; inline admission degraded to cache-only", s.satStreak)
+	}
+}
+
 // Shutdown drains the server: admission stops (503), queued and running
-// jobs finish, then the journal closes. A journal-backed server killed
-// before the drain completes recovers the unfinished jobs on next
-// start. Returns ctx.Err when the deadline expires first.
+// jobs finish, dirty store writes flush, then the journal closes. A
+// journal-backed server killed before the drain completes recovers the
+// unfinished jobs on next start. Returns ctx.Err when the deadline
+// expires first.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.drain {
@@ -295,11 +512,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	s.drain = true
-	close(s.queue) // all sends happen under mu with drain false
+	close(s.stop)
+	s.queue.Close() // all pushes happen under mu with drain false
 	s.mu.Unlock()
 
 	done := make(chan struct{})
-	go func() { s.wg.Wait(); close(done) }()
+	go func() {
+		s.wg.Wait()        // workers drain the queue...
+		close(s.persistCh) // ...then no more persist sends...
+		s.persistWG.Wait() // ...and the store flushes before the journal
+		close(done)
+	}()
 	select {
 	case <-done:
 	case <-ctx.Done():
@@ -311,11 +534,44 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return nil
 }
 
-// Submit admits one job: validation, cache lookup, single-flight
-// attach, or enqueue. It returns the job (possibly already done, on a
-// cache hit) or a *RequestError carrying the HTTP status.
+// retryAfterSeconds rounds a wait estimate up to whole seconds for a
+// Retry-After header, minimum 1.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(d / time.Second)
+	return secs + 1
+}
+
+// estimateStartDelay estimates how long a job admitted now would queue
+// before starting: full waves of already-queued work across the worker
+// pool, each lasting the observed p50 engine service time. Before any
+// engine run has been observed the estimate is zero — admission stays
+// optimistic rather than shedding on no evidence.
+func (s *Server) estimateStartDelay() time.Duration {
+	s.latMu.Lock()
+	n := s.svc.Count()
+	p50 := s.svc.Quantile(0.50)
+	s.latMu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	waves := (s.queue.Len() + s.opt.Workers - 1) / s.opt.Workers
+	return time.Duration(waves) * time.Duration(p50) * time.Microsecond
+}
+
+// Submit admits one job: validation, two-tier cache lookup,
+// single-flight attach, deadline shed, or enqueue. It returns the job
+// (possibly already done, on a cache or store hit) or a *RequestError
+// carrying the HTTP status.
 func (s *Server) Submit(req *JobRequest) (*job, *RequestError) {
-	spec, rerr := s.opt.Resolve(req)
+	if req.DeadlineMS < 0 {
+		s.rejectedInvalid.Add(1)
+		return nil, badRequest("deadline_ms must be non-negative")
+	}
+	// Breaker open: inline programs skip admission-time static analysis
+	// (the expensive step the breaker protects) and are served only when
+	// their result already exists in a cache tier.
+	degradedInline := s.degraded.Load() && req.Source != ""
+	spec, rerr := s.opt.resolve(req, degradedInline)
 	if rerr != nil {
 		s.rejectedInvalid.Add(1)
 		return nil, rerr
@@ -327,9 +583,9 @@ func (s *Server) Submit(req *JobRequest) (*job, *RequestError) {
 	if s.drain {
 		return nil, &RequestError{Status: http.StatusServiceUnavailable, Msg: "server is draining"}
 	}
-	if res, ok := s.cache.Get(key); ok {
-		// Admission-time hit: the job is born finished; no queue slot, no
-		// journal entry, no engine run.
+	if res, ok := s.fetch(key); ok {
+		// Admission-time hit (either tier): the job is born finished; no
+		// queue slot, no journal entry, no engine run.
 		id := s.newID()
 		j := &job{ids: []string{id}, key: key, spec: spec, state: stateDone,
 			cached: true, admitted: time.Now(), result: res,
@@ -339,19 +595,43 @@ func (s *Server) Submit(req *JobRequest) (*job, *RequestError) {
 		s.admitted.Add(1)
 		return j, nil
 	}
+	if degradedInline {
+		s.rejectedDegraded.Add(1)
+		return nil, &RequestError{Status: http.StatusServiceUnavailable,
+			Msg:        "saturated: inline admission is cache-only until the worker pool drains (breaker open)",
+			RetryAfter: retryAfterSeconds(s.estimateStartDelay())}
+	}
 	if inflight, ok := s.byKey[key]; ok {
 		// Single-flight: an identical job is already queued or running;
-		// this submission shares it (same id, one engine run).
+		// this submission shares it (same id, one engine run). The shared
+		// job runs under the laxest deadline of its submitters.
 		s.deduped.Add(1)
+		if !inflight.deadline.IsZero() {
+			if d := reqDeadline(req); d.IsZero() || d.After(inflight.deadline) {
+				inflight.deadline = d
+			}
+		}
 		return inflight, nil
 	}
-	if len(s.queue) >= s.opt.QueueDepth {
+	if req.DeadlineMS > 0 {
+		if est := s.estimateStartDelay(); est > time.Duration(req.DeadlineMS)*time.Millisecond {
+			s.deadlineShed.Add(1)
+			return nil, &RequestError{Status: http.StatusTooManyRequests,
+				Msg: fmt.Sprintf("deadline %dms cannot be met: estimated queue wait %s",
+					req.DeadlineMS, est.Round(time.Millisecond)),
+				RetryAfter: retryAfterSeconds(est)}
+		}
+	}
+	if s.queue.Len() >= s.opt.QueueDepth {
 		s.rejectedFull.Add(1)
 		return nil, &RequestError{Status: http.StatusTooManyRequests,
-			Msg: fmt.Sprintf("queue full (%d jobs)", s.opt.QueueDepth)}
+			Msg:        fmt.Sprintf("queue full (%d jobs)", s.opt.QueueDepth),
+			RetryAfter: retryAfterSeconds(s.estimateStartDelay())}
 	}
 	id := s.newID()
+	s.seq++
 	j := &job{ids: []string{id}, key: key, spec: spec, state: stateQueued,
+		priority: req.Priority, seq: s.seq, deadline: reqDeadline(req),
 		admitted: time.Now(), done: make(chan struct{})}
 	j.spec.Progress = &j.progress
 	s.jobs[id] = j
@@ -364,9 +644,18 @@ func (s *Server) Submit(req *JobRequest) (*job, *RequestError) {
 				Msg: fmt.Sprintf("journal write failed: %v", err)}
 		}
 	}
-	s.queue <- j // cannot block: length checked under mu, workers only drain
+	s.queue.Push(j)
 	s.admitted.Add(1)
 	return j, nil
+}
+
+// reqDeadline converts a request's relative deadline to absolute wall
+// time (zero when the request has none).
+func reqDeadline(req *JobRequest) time.Time {
+	if req.DeadlineMS <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
 }
 
 func (s *Server) newID() string {
@@ -382,9 +671,10 @@ func (s *Server) Job(id string) (*job, bool) {
 	return j, ok
 }
 
-// Result returns the cached result at the given content address.
+// Result returns the result at the given content address from either
+// cache tier.
 func (s *Server) Result(key string) (*CachedResult, bool) {
-	return s.cache.Get(key)
+	return s.fetch(key)
 }
 
 // Stats is the GET /v1/stats payload.
@@ -397,14 +687,26 @@ type Stats struct {
 	// QueueDepth/QueueCapacity describe the admission queue.
 	QueueDepth    int `json:"queue_depth"`
 	QueueCapacity int `json:"queue_capacity"`
+	// Degraded reports the saturation breaker's state: true while inline
+	// admission is cache-only.
+	Degraded bool `json:"degraded"`
 	// Jobs counts admissions and outcomes since start.
 	Jobs JobStats `json:"jobs"`
-	// Cache is the result cache's occupancy and hit statistics.
+	// Cache is the in-memory result cache's occupancy and hit statistics.
 	Cache CacheStats `json:"cache"`
+	// Store is the persistent tier's occupancy and health; nil when the
+	// server runs without one.
+	Store *store.Stats `json:"store,omitempty"`
+	// Journal is the recovery journal's size and last-compaction summary;
+	// nil when the server runs without one.
+	Journal *JournalStats `json:"journal,omitempty"`
 	// LatencyUS summarizes end-to-end job latency (admission to result,
 	// engine runs and queueing included; admission-time cache hits are
 	// not observed here — they never enter the queue).
 	LatencyUS LatencyStats `json:"latency_us"`
+	// ServiceUS summarizes pure engine service time (no queueing), the
+	// signal behind deadline shedding and Retry-After estimates.
+	ServiceUS LatencyStats `json:"service_us"`
 }
 
 // JobStats counts job lifecycle events since server start.
@@ -413,23 +715,35 @@ type JobStats struct {
 	// hits); Deduped submissions attached to an in-flight identical job.
 	Admitted int64 `json:"admitted"`
 	Deduped  int64 `json:"deduped"`
-	// Completed jobs finished (Failed of them with a simulation error).
+	// Completed jobs finished (Failed of them with a simulation error,
+	// Expired with their deadline passed before they could start).
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
+	Expired   int64 `json:"expired"`
 	// EngineRuns counts actual simulations — the cache and single-flight
 	// savings are Admitted+Deduped-EngineRuns.
 	EngineRuns int64 `json:"engine_runs"`
 	// Recovered jobs were replayed from the journal at startup.
 	Recovered int64 `json:"recovered"`
-	// RejectedQueueFull and RejectedInvalid were turned away at
-	// admission (HTTP 429 and 400/422 respectively).
+	// Persisted results reached the durable store; PersistFailed writes
+	// errored (the result stays served from memory). DiskHits counts
+	// lookups answered by the persistent tier.
+	Persisted     int64 `json:"persisted"`
+	PersistFailed int64 `json:"persist_failed"`
+	DiskHits      int64 `json:"disk_hits"`
+	// RejectedQueueFull, RejectedInvalid, DeadlineShed and
+	// RejectedDegraded were turned away at admission (HTTP 429, 400/422,
+	// 429 and 503 respectively). DegradeTrips counts breaker openings.
 	RejectedQueueFull int64 `json:"rejected_queue_full"`
 	RejectedInvalid   int64 `json:"rejected_invalid"`
+	DeadlineShed      int64 `json:"deadline_shed"`
+	RejectedDegraded  int64 `json:"rejected_degraded"`
+	DegradeTrips      int64 `json:"degrade_trips"`
 }
 
-// LatencyStats summarizes the job latency histogram in microseconds.
+// LatencyStats summarizes a latency histogram in microseconds.
 type LatencyStats struct {
-	// Count is the number of completed (non-admission-hit) jobs.
+	// Count is the number of observations.
 	Count int64 `json:"count"`
 	// P50 and P99 are bucketed upper-bound estimates; Max is exact.
 	P50 int64 `json:"p50"`
@@ -439,38 +753,63 @@ type LatencyStats struct {
 	MeanUS float64 `json:"mean"`
 }
 
+// histStats snapshots one histogram; call with latMu held.
+func histStats(h *metrics.Histogram) LatencyStats {
+	st := LatencyStats{Count: h.Count(), P50: h.Quantile(0.50),
+		P99: h.Quantile(0.99), Max: h.Quantile(1.0)}
+	if st.Count > 0 {
+		st.MeanUS = float64(h.Sum()) / float64(st.Count)
+	}
+	return st
+}
+
 // Stats returns a point-in-time snapshot of server health.
 func (s *Server) Stats() Stats {
 	s.latMu.Lock()
-	lat := LatencyStats{Count: s.latency.Count(),
-		P50: s.latency.Quantile(0.50), P99: s.latency.Quantile(0.99),
-		Max: s.latency.Quantile(1.0)}
-	if lat.Count > 0 {
-		lat.MeanUS = float64(s.latency.Sum()) / float64(lat.Count)
-	}
+	lat := histStats(s.latency)
+	svc := histStats(s.svc)
 	s.latMu.Unlock()
-	return Stats{
+	st := Stats{
 		UptimeS:       time.Since(s.start).Seconds(),
 		Workers:       s.opt.Workers,
 		Running:       s.running.Load(),
-		QueueDepth:    len(s.queue),
+		QueueDepth:    s.queue.Len(),
 		QueueCapacity: s.opt.QueueDepth,
+		Degraded:      s.degraded.Load(),
 		Jobs: JobStats{
 			Admitted: s.admitted.Load(), Deduped: s.deduped.Load(),
 			Completed: s.completed.Load(), Failed: s.failed.Load(),
+			Expired:    s.expired.Load(),
 			EngineRuns: s.engRuns.Load(), Recovered: s.recovered.Load(),
+			Persisted:         s.persisted.Load(),
+			PersistFailed:     s.persistFailed.Load(),
+			DiskHits:          s.diskHits.Load(),
 			RejectedQueueFull: s.rejectedFull.Load(),
 			RejectedInvalid:   s.rejectedInvalid.Load(),
+			DeadlineShed:      s.deadlineShed.Load(),
+			RejectedDegraded:  s.rejectedDegraded.Load(),
+			DegradeTrips:      s.degradeTrips.Load(),
 		},
 		Cache:     s.cache.Stats(),
 		LatencyUS: lat,
+		ServiceUS: svc,
 	}
+	if s.disk != nil {
+		ds := s.disk.Stats()
+		st.Store = &ds
+	}
+	if s.jour != nil {
+		js := s.jour.statsSnapshot()
+		st.Journal = &js
+	}
+	return st
 }
 
 // buildResult renders one outcome into its cacheable form: headline
 // cycles/error plus the full schema-2 manifest (per-SM counter
 // resolution, like cmd/warpsim -stats-json) serialized once so every
-// future hit serves identical bytes.
+// future hit serves identical bytes — from memory or from the
+// persistent store, which keeps exactly these bytes as its payload.
 func buildResult(key string, spec exp.Spec, out exp.Outcome) *CachedResult {
 	r := &CachedResult{Key: key}
 	if out.Err != nil {

@@ -528,17 +528,36 @@ func TestJournalRecovery(t *testing.T) {
 	}
 }
 
-// TestJournalCorruption: damage before the final line means the file is
-// not one this server wrote — refuse to start rather than silently
-// dropping jobs.
+// TestJournalCorruption: damage before the final line is salvaged — the
+// bad line is skipped, the readable records still count, and the
+// damaged original is preserved beside the compacted journal.
 func TestJournalCorruption(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "journal.jsonl")
 	content := "{\"admit\":{\"id\":\"j1\",\"req\":{\"kernel\":\"HT\"}}}\nGARBAGE\n{\"done\":\"j1\"}\n"
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := New(Options{Journal: path}); err == nil {
-		t.Fatal("New accepted a corrupt journal")
+	j, unfinished, maxID, err := openJournal(path)
+	if err != nil {
+		t.Fatalf("openJournal: %v", err)
+	}
+	defer j.Close()
+	if len(unfinished) != 0 {
+		t.Errorf("j1 admitted and done, want no unfinished jobs, got %v", unfinished)
+	}
+	if maxID != 1 {
+		t.Errorf("maxID = %d, want 1", maxID)
+	}
+	st := j.statsSnapshot()
+	if st.SalvagedLines != 1 {
+		t.Errorf("SalvagedLines = %d, want 1", st.SalvagedLines)
+	}
+	saved, err := os.ReadFile(path + ".corrupt")
+	if err != nil {
+		t.Fatalf("damaged original not preserved: %v", err)
+	}
+	if string(saved) != content {
+		t.Errorf("preserved copy differs from the damaged original")
 	}
 }
 

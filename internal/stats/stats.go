@@ -9,6 +9,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"strings"
 )
 
 // Sim aggregates statistics for one simulation (summed over SMs).
@@ -225,22 +226,44 @@ func Hmean(vs []float64) float64 {
 	return float64(len(vs)) / inv
 }
 
-// FromCounters reconstructs a Sim from a run manifest's machine-total
-// counter map (internal/exp's aggregated names, e.g. "exec.warp_instrs")
-// plus the record's headline cycle count. It is the inverse of the
+// FromCounters reconstructs a Sim from a run manifest's counter map
+// plus the record's headline cycle count. It accepts both machine-total
+// names (internal/exp's aggregated manifests, e.g. "exec.warp_instrs")
+// and per-SM names (warpsimd's manifests, e.g. "sm0.exec.warp_instrs"),
+// folding the latter by summing across SMs. It is the inverse of the
 // engine's metric registration as seen through manifest aggregation, and
-// lets offline consumers (internal/report) reuse every derived-metric
-// method — SIMDEfficiency, SyncInstrFraction, energy.Compute — without a
-// live simulation. Names absent from the map leave their field zero; the
-// golden-manifest round-trip test in internal/exp pins the coupling.
+// lets offline consumers (internal/report, the remote-offload client)
+// reuse every derived-metric method — SIMDEfficiency, SyncInstrFraction,
+// energy.Compute — without a live simulation. Names absent from the map
+// leave their field zero; the golden-manifest round-trip test in
+// internal/exp pins the coupling.
 func FromCounters(cycles int64, c map[string]int64) *Sim {
 	s := &Sim{Cycles: cycles}
-	for name, dst := range counterFields(s) {
-		if v, ok := c[name]; ok {
-			*dst = v
+	fields := counterFields(s)
+	for name, v := range c {
+		if dst, ok := fields[FoldCounterName(name)]; ok {
+			*dst += v
 		}
 	}
 	return s
+}
+
+// FoldCounterName maps a per-SM counter name ("sm<i>.<rest>") onto its
+// machine-total name ("<rest>"); names without the prefix — aggregated
+// counters, engine-scoped counters — pass through unchanged.
+func FoldCounterName(name string) string {
+	if !strings.HasPrefix(name, "sm") {
+		return name
+	}
+	rest := name[2:]
+	i := 0
+	for i < len(rest) && rest[i] >= '0' && rest[i] <= '9' {
+		i++
+	}
+	if i == 0 || i >= len(rest) || rest[i] != '.' {
+		return name
+	}
+	return rest[i+1:]
 }
 
 // counterFields maps the manifest's aggregated counter names onto the

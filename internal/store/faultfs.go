@@ -1,0 +1,168 @@
+package store
+
+import (
+	"os"
+	"sync"
+	"syscall"
+)
+
+// FaultConfig tunes a FaultFS: per-operation failure periods (every
+// Nth operation of that kind fails; 0 disables that fault) and whether
+// failed writes tear (write a prefix before erroring) instead of
+// failing cleanly. Failures surface as Err (default syscall.ENOSPC).
+// Periods are driven by a seeded xorshift64* generator, so a given
+// (seed, schedule) is fully reproducible — the same contract as the
+// memory fault injector (mem.FaultConfig).
+type FaultConfig struct {
+	// WriteEvery fails (approximately) one in WriteEvery writes.
+	WriteEvery int
+	// SyncEvery fails one in SyncEvery file fsyncs.
+	SyncEvery int
+	// RenameEvery fails one in RenameEvery renames.
+	RenameEvery int
+	// TornWrites makes failing writes first persist a random-length
+	// prefix, simulating a partial page flush before the device filled.
+	TornWrites bool
+	// Err is the injected error (default syscall.ENOSPC).
+	Err error
+}
+
+// FaultFS wraps another FS and injects deterministic, seeded failures
+// into its write path. Reads always pass through: the chaos harness
+// corrupts bytes via the real filesystem, while FaultFS models the
+// device refusing writes (ENOSPC, failed fsync, failed rename). Safe
+// for concurrent use. Enabled by default; SetEnabled(false) "frees disk
+// space" mid-test.
+type FaultFS struct {
+	base FS
+	cfg  FaultConfig
+
+	mu       sync.Mutex
+	rng      uint64
+	enabled  bool
+	injected int64
+}
+
+// NewFaultFS wraps base with the seeded fault schedule cfg describes.
+func NewFaultFS(base FS, seed uint64, cfg FaultConfig) *FaultFS {
+	if cfg.Err == nil {
+		cfg.Err = syscall.ENOSPC
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return &FaultFS{base: base, cfg: cfg, rng: seed, enabled: true}
+}
+
+// SetEnabled turns fault injection on or off; disabling it mid-test
+// models the disk recovering (space freed, device healthy again).
+func (f *FaultFS) SetEnabled(on bool) {
+	f.mu.Lock()
+	f.enabled = on
+	f.mu.Unlock()
+}
+
+// Injected returns how many faults have fired so far.
+func (f *FaultFS) Injected() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// next steps the xorshift64* generator.
+func (f *FaultFS) next() uint64 {
+	f.rng ^= f.rng >> 12
+	f.rng ^= f.rng << 25
+	f.rng ^= f.rng >> 27
+	return f.rng * 0x2545F4914F6CDD1D
+}
+
+// trip decides whether the next operation with period p fails, and
+// also draws the torn-write fraction (numerator of n/256).
+func (f *FaultFS) trip(p int) (fail bool, tear int) {
+	if p <= 0 {
+		return false, 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r := f.next()
+	if !f.enabled {
+		return false, 0
+	}
+	if int(r%uint64(p)) == 0 {
+		f.injected++
+		return true, int(r >> 32 % 256)
+	}
+	return false, 0
+}
+
+// MkdirAll implements FS (pass-through).
+func (f *FaultFS) MkdirAll(path string) error { return f.base.MkdirAll(path) }
+
+// ReadDir implements FS (pass-through).
+func (f *FaultFS) ReadDir(path string) ([]os.DirEntry, error) {
+	return f.base.ReadDir(path)
+}
+
+// ReadFile implements FS (pass-through).
+func (f *FaultFS) ReadFile(path string) ([]byte, error) { return f.base.ReadFile(path) }
+
+// Create implements FS, wrapping the file so writes and fsyncs can fail.
+func (f *FaultFS) Create(path string) (File, error) {
+	file, err := f.base.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file}, nil
+}
+
+// OpenAppend implements FS, wrapping the file like Create.
+func (f *FaultFS) OpenAppend(path string) (File, error) {
+	file, err := f.base.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file}, nil
+}
+
+// Rename implements FS; one in RenameEvery calls fails.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if fail, _ := f.trip(f.cfg.RenameEvery); fail {
+		return f.cfg.Err
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+// Remove implements FS (pass-through).
+func (f *FaultFS) Remove(path string) error { return f.base.Remove(path) }
+
+// SyncDir implements FS (pass-through; per-file Sync is where fsync
+// faults inject).
+func (f *FaultFS) SyncDir(path string) error { return f.base.SyncDir(path) }
+
+// faultFile interposes on writes and fsyncs of one open file.
+type faultFile struct {
+	fs *FaultFS
+	f  File
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	if fail, tear := w.fs.trip(w.fs.cfg.WriteEvery); fail {
+		if w.fs.cfg.TornWrites && len(p) > 0 {
+			n := len(p) * tear / 256
+			w.f.Write(p[:n]) // the torn prefix reaches the disk
+			return n, w.fs.cfg.Err
+		}
+		return 0, w.fs.cfg.Err
+	}
+	return w.f.Write(p)
+}
+
+func (w *faultFile) Sync() error {
+	if fail, _ := w.fs.trip(w.fs.cfg.SyncEvery); fail {
+		return w.fs.cfg.Err
+	}
+	return w.f.Sync()
+}
+
+func (w *faultFile) Close() error { return w.f.Close() }

@@ -31,12 +31,12 @@ go vet ./...
 echo "== warplint =="
 go run ./cmd/warplint -all
 
-echo "== golint-internal (determinism lint over the simulation core) =="
-go run ./cmd/golint-internal ./internal/sim ./internal/mem
+echo "== golint-internal (determinism + store durability lint) =="
+go run ./cmd/golint-internal ./internal/sim ./internal/mem ./internal/store
 
 echo "== doccheck (godoc coverage) =="
 go run ./cmd/doccheck ./internal/report ./internal/exp ./internal/metrics \
-    ./internal/server ./internal/sim .
+    ./internal/server ./internal/store ./internal/sim .
 
 echo "== report drift (REPRODUCTION.md + docs/figures) =="
 go run ./cmd/warpreport -manifest internal/report/testdata/full.json \
@@ -51,6 +51,9 @@ go test -race ./internal/exp -run TestRunner
 echo "== invariant-checked smoke (warpsim -check) =="
 go run ./cmd/warpsim -kernel HT -sms 2 -check > /dev/null
 go run ./cmd/warpsim -kernel ATM -sms 2 -bows ddos -check -fault-seed 7 > /dev/null
+
+echo "== persistent store smoke (crash-restart round trip) =="
+go test ./internal/store -run 'TestRoundTrip|TestCrashRestartLoop' -count=1
 
 if [[ "${1:-}" == "-bench" ]]; then
     # -f: regenerating the current PR's baseline is the one intentional

@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # service_smoke.sh — end-to-end smoke test of the warpsimd daemon.
 #
-# Builds warpsimd, starts it on a local port, submits the same job
-# twice, asserts the second response is a cache hit whose result bytes
-# are identical to the first, then SIGTERMs the daemon and asserts a
-# clean drain (exit 0). Run by the CI `service` job; safe to run
-# locally (uses a temp dir, kills its own daemon).
+# Builds warpsimd, starts it on a local port with a persistent store,
+# submits the same job twice, asserts the second response is a cache
+# hit whose result bytes are identical to the first, SIGTERMs the
+# daemon and asserts a clean drain (exit 0), then restarts on the same
+# store and asserts the persisted key is a disk hit with byte-identical
+# results across the restart. Finally asserts warpload's failure
+# contract: against a dead port it must exit non-zero with a structured
+# `warpload: FAIL {...}` summary on stderr. Run by the CI `service`
+# job; safe to run locally (uses a temp dir, kills its own daemon).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,14 +20,17 @@ trap 'kill "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
 
 go build -o "$TMP/warpsimd" ./cmd/warpsimd
 
-"$TMP/warpsimd" -addr "127.0.0.1:$PORT" -journal "$TMP/journal.jsonl" &
-PID=$!
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    curl -fs "$BASE/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+  done
+  curl -fs "$BASE/healthz" >/dev/null
+}
 
-for _ in $(seq 1 100); do
-  curl -fs "$BASE/healthz" >/dev/null 2>&1 && break
-  sleep 0.1
-done
-curl -fs "$BASE/healthz" >/dev/null
+"$TMP/warpsimd" -addr "127.0.0.1:$PORT" -journal "$TMP/journal.jsonl" -store "$TMP/store" &
+PID=$!
+wait_healthy
 
 req='{"kernel":"HT","wait":true,"config":{"sms":2,"quick":true,"sched":"GTO"}}'
 
@@ -68,5 +75,27 @@ echo "--- journal is fully resolved (no unfinished jobs survive a clean drain)"
 admits="$(grep -c '"admit"' "$TMP/journal.jsonl")"
 dones="$(grep -c '"done"' "$TMP/journal.jsonl")"
 [ "$admits" -eq "$dones" ] || { echo "FAIL: $admits admits vs $dones dones after drain" >&2; exit 1; }
+
+echo "--- restart on the same store: persisted key survives as a disk hit"
+"$TMP/warpsimd" -addr "127.0.0.1:$PORT" -journal "$TMP/journal.jsonl" -store "$TMP/store" &
+PID=$!
+wait_healthy
+r4="$(curl -fs -X POST -H 'Content-Type: application/json' -d "$req" "$BASE/v1/jobs")"
+echo "$r4"
+echo "$r4" | grep -q '"cached": true' || { echo "FAIL: persisted key re-ran the engine after restart" >&2; exit 1; }
+curl -fs "$BASE/v1/results/$key" > "$TMP/res3.json"
+cmp "$TMP/res1.json" "$TMP/res3.json" || { echo "FAIL: result bytes changed across restart" >&2; exit 1; }
+curl -fs "$BASE/v1/stats" | grep -q '"disk_hits"' || { echo "FAIL: stats lack the persistent-store counters" >&2; exit 1; }
+kill -TERM "$PID"
+wait "$PID"
+
+echo "--- warpload against a dead port: non-zero exit + structured failure summary"
+set +e
+go run ./cmd/warpload -addr "http://127.0.0.1:1" -clients 2 -requests 4 -retries 2 2> "$TMP/warpload.err"
+wcode=$?
+set -e
+[ "$wcode" -ne 0 ] || { echo "FAIL: warpload exited 0 against a dead port" >&2; exit 1; }
+grep -q 'warpload: FAIL' "$TMP/warpload.err" || { echo "FAIL: no structured failure summary on stderr" >&2; cat "$TMP/warpload.err" >&2; exit 1; }
+grep -q '"errors":' "$TMP/warpload.err" || { echo "FAIL: failure summary lacks error counts" >&2; cat "$TMP/warpload.err" >&2; exit 1; }
 
 echo "service smoke: OK"
