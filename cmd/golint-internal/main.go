@@ -11,7 +11,7 @@
 // in the style of cmd/doccheck — no type checking, no external
 // dependencies — wired into scripts/check.sh and the CI lint job:
 //
-//	go run ./cmd/golint-internal ./internal/sim ./internal/mem ./internal/store
+//	go run ./cmd/golint-internal ./internal/sim ./internal/mem ./internal/store ./internal/sched
 //
 // Test files are exempt: harnesses legitimately time out, shuffle and
 // corrupt files in place. Exits 1 listing each violation as

@@ -23,7 +23,8 @@ import (
 func main() {
 	var (
 		kernel    = flag.String("kernel", "HT", "kernel name (see -list)")
-		sched     = flag.String("sched", "GTO", "baseline scheduler: LRR, GTO or CAWA")
+		sched     = flag.String("sched", "GTO", "warp scheduler: LRR, GTO, CAWA or WASP (see docs/SCHEDULERS.md)")
+		detector  = flag.String("detector", "DDOS", "spin detector: DDOS or TAGE")
 		bows      = flag.String("bows", "off", "BOWS mode: off, ddos or static")
 		delay     = flag.Int64("delay", -1, "fixed back-off delay limit in cycles (-1 = adaptive)")
 		gpu       = flag.String("gpu", "fermi", "GPU configuration: fermi (GTX480) or pascal (GTX1080Ti)")
@@ -70,6 +71,23 @@ func main() {
 		opt.GPU = opt.GPU.Scaled(*sms)
 	}
 	opt.Sched = warpsched.SchedulerKind(strings.ToUpper(*sched))
+	switch opt.Sched {
+	case warpsched.LRR, warpsched.GTO, warpsched.CAWA:
+	case warpsched.WASP:
+		opt.WaSP = warpsched.DefaultWaSP()
+	default:
+		// Usage error, not a runtime failure: name the valid kinds.
+		usageError(fmt.Errorf("unknown scheduler %q (valid kinds: LRR, GTO, CAWA, WASP)", *sched))
+	}
+	switch strings.ToUpper(*detector) {
+	case "DDOS":
+		opt.Detector = warpsched.DetectDDOS
+	case "TAGE":
+		opt.Detector = warpsched.DetectTAGE
+		opt.TAGE = warpsched.DefaultTAGE()
+	default:
+		usageError(fmt.Errorf("unknown detector %q (valid kinds: DDOS, TAGE)", *detector))
+	}
 	switch strings.ToLower(*bows) {
 	case "off":
 		opt.BOWS.Mode = warpsched.BOWSOff
@@ -127,13 +145,19 @@ func main() {
 			GPU:    opt.GPU.Name,
 			Sched:  string(opt.Sched),
 			BOWS:   string(opt.BOWS.Mode),
+			// The detector and WaSP dimensions are omitted when inactive so
+			// hashes of pre-zoo invocations are unchanged (mirrors
+			// exp.variantHash).
 			Variant: metrics.HashJSON(struct {
-				GPU    warpsched.GPU
-				Sched  warpsched.SchedulerKind
-				BOWS   warpsched.BOWSConfig
-				DDOS   warpsched.DDOSConfig
-				Kernel string
-			}{opt.GPU, opt.Sched, opt.BOWS, opt.DDOS, k.Name}),
+				GPU      warpsched.GPU
+				Sched    warpsched.SchedulerKind
+				BOWS     warpsched.BOWSConfig
+				DDOS     warpsched.DDOSConfig
+				Detector warpsched.DetectorKind `json:",omitempty"`
+				TAGE     *warpsched.TAGEConfig  `json:",omitempty"`
+				WaSP     *warpsched.WaSPConfig  `json:",omitempty"`
+				Kernel   string
+			}{opt.GPU, opt.Sched, opt.BOWS, opt.DDOS, hashDetector(opt), hashTAGE(opt), hashWaSP(opt), k.Name}),
 			Cycles: res.Stats.Cycles,
 			WallMS: wallMS,
 		}
@@ -178,7 +202,8 @@ func main() {
 			100*s.BackedOffFraction(), res.FinalDelayLimits)
 	}
 	det := res.Detection
-	fmt.Printf("DDOS             TSDR %.2f (%d/%d), FSDR %.2f (%d/%d), confirmed SIB PCs %v (true: %v)\n",
+	fmt.Printf("%-16s TSDR %.2f (%d/%d), FSDR %.2f (%d/%d), confirmed SIB PCs %v (true: %v)\n",
+		string(opt.Detector),
 		det.TSDR(), det.TrueDetected, det.TrueSeen,
 		det.FSDR(), det.FalseDetected, det.FalseSeen,
 		res.ConfirmedSIBs, k.Launch.Prog.TrueSIBs)
@@ -210,4 +235,35 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "warpsim:", err)
 	os.Exit(1)
+}
+
+// usageError reports a bad flag value with the usage text, exit code 2
+// (a misuse, not a simulation failure).
+func usageError(err error) {
+	fmt.Fprintln(os.Stderr, "warpsim:", err)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// hashDetector, hashTAGE and hashWaSP feed the variant hash: the zoo
+// dimensions appear only when active, keeping pre-zoo hashes stable.
+func hashDetector(opt warpsched.Options) warpsched.DetectorKind {
+	if opt.Detector == warpsched.DetectTAGE {
+		return opt.Detector
+	}
+	return ""
+}
+
+func hashTAGE(opt warpsched.Options) *warpsched.TAGEConfig {
+	if opt.Detector == warpsched.DetectTAGE {
+		return &opt.TAGE
+	}
+	return nil
+}
+
+func hashWaSP(opt warpsched.Options) *warpsched.WaSPConfig {
+	if opt.Sched == warpsched.WASP {
+		return &opt.WaSP
+	}
+	return nil
 }

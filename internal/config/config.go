@@ -20,10 +20,150 @@ const (
 	// CAWA is Criticality-Aware Warp Acceleration (Lee et al., ISCA'15),
 	// the paper's strongest baseline.
 	CAWA SchedulerKind = "CAWA"
+	// WASP is the prefetch-mimicking priority-group policy (Joseph et
+	// al., arXiv 2404.06156): a small group of warps runs ahead of the
+	// rest, warming caches for the trailing group, with phase-based
+	// group rotation so every warp eventually leads.
+	WASP SchedulerKind = "WASP"
 )
 
-// Schedulers lists the three baseline policies in paper order.
+// Schedulers lists the three baseline policies in paper order. The
+// paper's sweeps (fig9, fig15, ...) iterate exactly this set; WASP is
+// deliberately excluded so pre-existing experiments keep their run
+// lists. Use AllSchedulers for enumeration in docs and CLI messages.
 var Schedulers = []SchedulerKind{LRR, GTO, CAWA}
+
+// AllSchedulers lists every scheduler kind the simulator implements,
+// baselines first. CLI usage errors and docs/SCHEDULERS.md enumerate
+// from here.
+var AllSchedulers = []SchedulerKind{LRR, GTO, CAWA, WASP}
+
+// WaSP holds the WASP policy knobs. Both dimensions are part of the
+// variant hash, so sweeping either yields distinct manifest records.
+type WaSP struct {
+	// GroupSize is the number of warp slots (per scheduler unit) in the
+	// priority group that runs ahead of the trailing warps.
+	GroupSize int
+	// RotatePeriod is the phase length in cycles: each period the
+	// priority window advances by GroupSize slots, so leadership rotates
+	// through the whole unit without any per-pick state.
+	RotatePeriod int64
+}
+
+// DefaultWaSP returns the evaluation configuration: a 4-warp priority
+// group rotated every 20,000 cycles (short enough that every warp of a
+// 24-slot unit leads within ~120k cycles, long enough for the leaders'
+// misses to resolve and become trailing-group hits).
+func DefaultWaSP() WaSP {
+	return WaSP{GroupSize: 4, RotatePeriod: 20000}
+}
+
+// Desc renders the WASP knobs as the stable descriptor experiment
+// sweeps key their points on, e.g. "g4-r20000".
+func (w WaSP) Desc() string {
+	return fmt.Sprintf("g%d-r%d", w.GroupSize, w.RotatePeriod)
+}
+
+// Validate checks WaSP parameters.
+func (w *WaSP) Validate() error {
+	switch {
+	case w.GroupSize < 1:
+		return fmt.Errorf("config: wasp: GroupSize must be positive")
+	case w.RotatePeriod < 1:
+		return fmt.Errorf("config: wasp: RotatePeriod must be positive")
+	}
+	return nil
+}
+
+// DetectorKind selects the spin-detection mechanism BOWS learns
+// spin-inducing branches from.
+type DetectorKind string
+
+const (
+	// DetectDDOS is the paper's hash-based history detector (default).
+	DetectDDOS DetectorKind = "DDOS"
+	// DetectTAGE is the tagged-geometric path-history spin predictor
+	// (TAGE-SIB): per-warp folded path history of synchronization PCs
+	// indexes geometrically-spaced tagged tables with useful-bit
+	// allocation, replacing DDOS's value-hash match with a
+	// path-signature match.
+	DetectTAGE DetectorKind = "TAGE"
+)
+
+// Detectors lists the implemented detector kinds, paper default first.
+var Detectors = []DetectorKind{DetectDDOS, DetectTAGE}
+
+// TAGE holds the TAGE-SIB predictor parameters. Like DDOS, the
+// descriptor covers every dimension the sensitivity sweep varies.
+type TAGE struct {
+	// Tables is the number of tagged tables (3 or 4 in the classic
+	// TAGE design space).
+	Tables int
+	// BaseHist is the shortest history length; table i uses a history
+	// of BaseHist * Ratio^i setp records, rounded to at least i+1.
+	BaseHist int
+	// Ratio is the geometric spacing between successive table history
+	// lengths.
+	Ratio int
+	// IndexBits sizes each tagged table at 2^IndexBits entries.
+	IndexBits int
+	// TagBits is the partial tag width stored per entry.
+	TagBits int
+	// ConfidenceThreshold is t: spin-consistent executions of a
+	// backward branch needed before it is confirmed as a SIB (same
+	// contract as DDOS.ConfidenceThreshold).
+	ConfidenceThreshold int
+	// UsefulDecayPeriod ages useful bits after this many failed
+	// allocations, in the classic TAGE graceful-decay style.
+	UsefulDecayPeriod int
+}
+
+// DefaultTAGE returns the evaluation configuration: 4 tables with
+// histories 4/8/16/32, 64-entry tables, 8-bit tags, the paper's t=4
+// confirmation threshold, and useful-bit decay every 64 failed
+// allocations.
+func DefaultTAGE() TAGE {
+	return TAGE{
+		Tables:              4,
+		BaseHist:            4,
+		Ratio:               2,
+		IndexBits:           6,
+		TagBits:             8,
+		ConfidenceThreshold: 4,
+		UsefulDecayPeriod:   64,
+	}
+}
+
+// Desc renders the predictor parameters as the stable descriptor run
+// manifests carry in their detector column, e.g. "TAGE-n4-h4x2-i6t8-t4".
+// It is disjoint from every DDOS.Desc value, so DDOS and TAGE-SIB rows
+// share the sensitivity table without colliding.
+func (t TAGE) Desc() string {
+	return fmt.Sprintf("TAGE-n%d-h%dx%d-i%dt%d-t%d",
+		t.Tables, t.BaseHist, t.Ratio, t.IndexBits, t.TagBits,
+		t.ConfidenceThreshold)
+}
+
+// Validate checks TAGE parameters.
+func (t *TAGE) Validate() error {
+	switch {
+	case t.Tables < 1 || t.Tables > 8:
+		return fmt.Errorf("config: tage: Tables %d out of range [1,8]", t.Tables)
+	case t.BaseHist < 1:
+		return fmt.Errorf("config: tage: BaseHist must be positive")
+	case t.Ratio < 2:
+		return fmt.Errorf("config: tage: Ratio must be at least 2")
+	case t.IndexBits < 1 || t.IndexBits > 16:
+		return fmt.Errorf("config: tage: IndexBits %d out of range [1,16]", t.IndexBits)
+	case t.TagBits < 1 || t.TagBits > 16:
+		return fmt.Errorf("config: tage: TagBits %d out of range [1,16]", t.TagBits)
+	case t.ConfidenceThreshold < 1:
+		return fmt.Errorf("config: tage: ConfidenceThreshold must be positive")
+	case t.UsefulDecayPeriod < 1:
+		return fmt.Errorf("config: tage: UsefulDecayPeriod must be positive")
+	}
+	return nil
+}
 
 // HashKind selects the DDOS history hashing function (Table I).
 type HashKind string

@@ -18,7 +18,7 @@ var DebugAdaptive func(cycle, tot, sib, limit int64)
 // controller of Figure 5. Scheduler units attach through Wrap.
 type BOWS struct {
 	cfg   config.BOWS
-	ddos  *DDOS // nil in static (annotation-driven) mode
+	det   Detector // nil in static (annotation-driven) mode
 	limit int64
 
 	backedOff    []bool
@@ -51,16 +51,17 @@ type BOWS struct {
 	limitHist        *metrics.Histogram
 }
 
-// NewBOWS creates the SM-wide BOWS state. ddos may be nil when cfg.Mode
-// is BOWSStatic.
-func NewBOWS(cfg config.BOWS, ddos *DDOS, numSlots int) *BOWS {
+// NewBOWS creates the SM-wide BOWS state. det is the spin detector
+// driving SIB confirmation (DDOS or TAGE-SIB); it may be nil when
+// cfg.Mode is BOWSStatic.
+func NewBOWS(cfg config.BOWS, det Detector, numSlots int) *BOWS {
 	limit := cfg.DelayLimit
 	if cfg.Adaptive {
 		limit = cfg.MinLimit
 	}
 	return &BOWS{
 		cfg:          cfg,
-		ddos:         ddos,
+		det:          det,
 		limit:        limit,
 		limitPeak:    limit,
 		backedOff:    make([]bool, numSlots),
@@ -101,7 +102,7 @@ func (b *BOWS) IsSIB(pc int32, in *isa.Instr) bool {
 	case config.BOWSStatic:
 		return in.HasAnn(isa.AnnSIB)
 	case config.BOWSDDOS:
-		return b.ddos != nil && b.ddos.IsSIB(pc)
+		return b.det != nil && b.det.IsSIB(pc)
 	}
 	return false
 }
@@ -135,13 +136,13 @@ func (b *BOWS) onIssue(slot int, cycle int64) {
 	// Figure 5's "SIB Instructions": the dynamic instructions attributable
 	// to busy waiting. We attribute an issued instruction to spinning when
 	// the issuing warp is inside a confirmed spin loop (its most recent
-	// taken backward branch was a SIB) AND the DDOS history currently
+	// taken backward branch was a SIB) AND the detector currently
 	// classifies it as spinning — the only reading under which the
 	// FRAC1=0.5 threshold of Table II can ever trigger (the SIB branch
 	// itself is at most ~20% of a spin iteration), while productive
 	// polling loops (wait-and-signal kernels whose values change) do not
 	// drive the limit up.
-	if b.inSpinLoop[slot] && (b.ddos == nil || b.ddos.Spinning(slot)) {
+	if b.inSpinLoop[slot] && (b.det == nil || b.det.Spinning(slot)) {
 		b.sibInstr++
 	}
 	if b.backedOff[slot] {

@@ -343,31 +343,15 @@ func (m *DetectionMetrics) Add(o DetectionMetrics) {
 // Metrics computes the SM's detection metrics over all backward branches
 // it observed.
 func (d *DDOS) Metrics() DetectionMetrics {
-	var m DetectionMetrics
-	for pc, bt := range d.branches {
-		e := d.table.entry(pc)
-		confirmed := e != nil && e.confirmed
-		var dpr float64
-		if confirmed {
-			span := bt.lastSeen - bt.firstSeen
-			if span < 1 {
-				span = 1
-			}
-			dpr = float64(e.confirmedAt-bt.firstSeen) / float64(span)
-		}
-		if bt.isSIB {
-			m.TrueSeen++
-			if confirmed {
-				m.TrueDetected++
-				m.TrueDPRSum += dpr
-			}
-		} else {
-			m.FalseSeen++
-			if confirmed {
-				m.FalseDetected++
-				m.FalseDPRSum += dpr
-			}
-		}
-	}
-	return m
+	return detectionFrom(d.branches, d.table)
 }
+
+// ConfirmedPCs returns every confirmed SIB PC (order unspecified).
+func (d *DDOS) ConfirmedPCs() []int32 { return d.table.ConfirmedPCs() }
+
+// TableLen returns the SIB-PT's current entry count.
+func (d *DDOS) TableLen() int { return d.table.Len() }
+
+// TableSnapshot returns a PC-sorted copy of the SIB-PT for hang
+// reports.
+func (d *DDOS) TableSnapshot() []SIBView { return d.table.Snapshot() }

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"math"
+
+	"warpsched/internal/config"
+	"warpsched/internal/metrics"
+)
+
+// tageSIBPTSize sizes the TAGE confirmation table; it matches the
+// paper's conservative 16-entry SIB-PT so DDOS and TAGE-SIB rows of the
+// sensitivity table differ only in their detection front-end.
+const tageSIBPTSize = 16
+
+// tageEntry is one tagged-table entry: a partial tag, a 3-bit spin
+// confidence counter (predict spinning when >= 4) and a 2-bit useful
+// counter governing allocation victims.
+type tageEntry struct {
+	valid  bool
+	tag    uint16
+	ctr    uint8
+	useful uint8
+}
+
+// tageSlot is one warp slot's predictor-side state: the raw path
+// history ring the per-table folded histories are computed from, the
+// last-seen operand signature per setp PC (the training oracle), and
+// the latched spinning classification.
+type tageSlot struct {
+	ring []uint16 // hashed setp records, newest at head
+	head int
+	n    int
+
+	lastVal map[int32]uint64 // setp pc -> packed (v1, v2) of last execution
+	streak  int              // consecutive operand-repeat observations
+	spin    bool
+	// lastLane mirrors DDOS: a change of profiled lane resets the slot
+	// so values from different threads never chain into a false repeat.
+	lastLane int
+}
+
+func (s *tageSlot) reset(maxHist int) {
+	if s.ring == nil {
+		s.ring = make([]uint16, maxHist)
+	}
+	s.head, s.n, s.streak = 0, 0, 0
+	s.spin = false
+	s.lastLane = -1
+	s.lastVal = make(map[int32]uint64)
+}
+
+// push shifts one record into the history ring.
+func (s *tageSlot) push(rec uint16) {
+	s.head = (s.head + 1) % len(s.ring)
+	s.ring[s.head] = rec
+	if s.n < len(s.ring) {
+		s.n++
+	}
+}
+
+// fold compresses the newest length records into width bits by
+// rotate-and-XOR, oldest first so the newest record lands unrotated.
+func (s *tageSlot) fold(length, width int) uint32 {
+	mask := uint32(1)<<width - 1
+	rot := 3 % width
+	var h uint32
+	for j := length - 1; j >= 0; j-- {
+		if rot > 0 {
+			h = ((h << rot) | (h >> (width - rot))) & mask
+		}
+		if j < s.n {
+			h ^= uint32(s.ring[(s.head-j+len(s.ring))%len(s.ring)]) & mask
+		}
+	}
+	return h
+}
+
+// TAGESIB is one SM's tagged-geometric-history spin predictor. It
+// implements the same Detector contract as DDOS but replaces the
+// history-register match FSM with a TAGE-style lookup: each warp keeps
+// a global path history of its setp executions, and 3-4 tagged tables
+// with geometrically-spaced history lengths learn which path contexts
+// lead to spin iterations (an execution of a setp whose source operands
+// are unchanged since its previous execution — the defining property of
+// a spin-wait re-check). A warp is classified as spinning when the
+// longest matching table predicts spin and the current observation
+// confirms it, or — before the tables are trained — when it has
+// observed ConfidenceThreshold consecutive operand repeats. Confirmed
+// spin-inducing branches then accumulate in a SIB-PT exactly as in
+// DDOS, so BOWS consumes either detector unchanged.
+//
+// The predictor is event-count-driven: Tick is a no-op and
+// NextEpochBoundary returns math.MaxInt64, so the engine's event-driven
+// fast-forward stays cycle-exact atop it.
+type TAGESIB struct {
+	cfg   config.TAGE
+	hists []int // per-table history lengths, shortest first
+
+	tables [][]tageEntry
+	base   []uint8 // tagless bimodal base, 2-bit counters
+	slots  []tageSlot
+	table  *SIBPT
+
+	branches map[int32]*branchTrack
+
+	// Observability counters.
+	allocs       int64
+	allocFails   int64
+	usefulDecays int64
+	predHits     int64
+	predMisses   int64
+	failStreak   int
+}
+
+var (
+	_ Detector = (*DDOS)(nil)
+	_ Detector = (*TAGESIB)(nil)
+)
+
+// NewTAGESIB builds a predictor for an SM with numSlots warp slots.
+func NewTAGESIB(cfg config.TAGE, numSlots int) *TAGESIB {
+	t := &TAGESIB{
+		cfg:      cfg,
+		table:    NewSIBPT(tageSIBPTSize, cfg.ConfidenceThreshold),
+		branches: make(map[int32]*branchTrack),
+		base:     make([]uint8, 1<<cfg.IndexBits),
+	}
+	h := cfg.BaseHist
+	for i := 0; i < cfg.Tables; i++ {
+		if h < i+1 {
+			h = i + 1
+		}
+		t.hists = append(t.hists, h)
+		t.tables = append(t.tables, make([]tageEntry, 1<<cfg.IndexBits))
+		h *= cfg.Ratio
+	}
+	maxHist := t.hists[len(t.hists)-1]
+	t.slots = make([]tageSlot, numSlots)
+	for i := range t.slots {
+		t.slots[i].reset(maxHist)
+	}
+	return t
+}
+
+// index computes table i's index and partial tag for the warp in s
+// executing the setp at pc, from the history preceding the current
+// event.
+func (t *TAGESIB) index(s *tageSlot, i int, pc int32) (uint32, uint16) {
+	pcBits := uint32(pc) >> 2
+	idxMask := uint32(1)<<t.cfg.IndexBits - 1
+	tagMask := uint32(1)<<t.cfg.TagBits - 1
+	idx := (s.fold(t.hists[i], t.cfg.IndexBits) ^ pcBits ^ uint32(i)) & idxMask
+	tag := (s.fold(t.hists[i], t.cfg.TagBits) ^ pcBits ^ (pcBits >> t.cfg.TagBits)) & tagMask
+	return idx, uint16(tag)
+}
+
+// Tick is a no-op: the predictor advances on setp/branch events only.
+func (t *TAGESIB) Tick(cycle int64) {}
+
+// NextEpochBoundary returns math.MaxInt64: Tick never has an observable
+// effect, so the engine's fast-forward clock may skip freely.
+func (t *TAGESIB) NextEpochBoundary() int64 { return math.MaxInt64 }
+
+// OnSetp records one condition evaluation: it derives the training bit
+// (operands unchanged since this PC's previous execution by this warp),
+// looks up the tagged tables on the pre-event path history, updates the
+// provider and useful bits, allocates on misprediction, refreshes the
+// warp's spinning classification, and finally pushes the event into the
+// path history.
+func (t *TAGESIB) OnSetp(slot int, pc int32, lane int, v1, v2 uint32) {
+	s := &t.slots[slot]
+	if lane != s.lastLane {
+		s.reset(t.hists[len(t.hists)-1])
+		s.lastLane = lane
+	}
+	key := uint64(v1)<<32 | uint64(v2)
+	prev, seen := s.lastVal[pc]
+	repeat := seen && prev == key
+	s.lastVal[pc] = key
+
+	// Lookup: longest matching table provides the prediction, the next
+	// match (or the base table) the alternate.
+	baseIdx := (uint32(pc) >> 2) & (uint32(1)<<t.cfg.IndexBits - 1)
+	basePred := t.base[baseIdx] >= 2
+	pred, altPred := basePred, basePred
+	provider, provIdx := -1, uint32(0)
+	for i := t.cfg.Tables - 1; i >= 0; i-- {
+		idx, tag := t.index(s, i, pc)
+		e := &t.tables[i][idx]
+		if !e.valid || e.tag != tag {
+			continue
+		}
+		if provider < 0 {
+			provider, provIdx = i, idx
+			pred = e.ctr >= 4
+			continue
+		}
+		altPred = e.ctr >= 4
+		break
+	}
+
+	correct := pred == repeat
+	if correct {
+		t.predHits++
+	} else {
+		t.predMisses++
+	}
+	if provider >= 0 {
+		e := &t.tables[provider][provIdx]
+		if repeat {
+			if e.ctr < 7 {
+				e.ctr++
+			}
+		} else if e.ctr > 0 {
+			e.ctr--
+		}
+		// The useful counter tracks whether the provider beats its
+		// alternate, in the classic TAGE style.
+		if pred != altPred {
+			if correct && e.useful < 3 {
+				e.useful++
+			} else if !correct && e.useful > 0 {
+				e.useful--
+			}
+		}
+	} else {
+		if repeat {
+			if t.base[baseIdx] < 3 {
+				t.base[baseIdx]++
+			}
+		} else if t.base[baseIdx] > 0 {
+			t.base[baseIdx]--
+		}
+	}
+
+	// Allocation: a misprediction tries to claim a not-useful entry in
+	// one longer-history table; repeated failures age every useful bit
+	// so stale entries eventually free up (graceful decay).
+	if !correct && provider < t.cfg.Tables-1 {
+		allocated := false
+		for i := provider + 1; i < t.cfg.Tables; i++ {
+			idx, tag := t.index(s, i, pc)
+			e := &t.tables[i][idx]
+			if e.valid && e.useful > 0 {
+				continue
+			}
+			ctr := uint8(3)
+			if repeat {
+				ctr = 4
+			}
+			*e = tageEntry{valid: true, tag: tag, ctr: ctr}
+			t.allocs++
+			allocated = true
+			break
+		}
+		if allocated {
+			if t.failStreak > 0 {
+				t.failStreak--
+			}
+		} else {
+			t.allocFails++
+			t.failStreak++
+			if t.failStreak >= t.cfg.UsefulDecayPeriod {
+				t.failStreak = 0
+				t.usefulDecays++
+				for i := range t.tables {
+					for j := range t.tables[i] {
+						if t.tables[i][j].useful > 0 {
+							t.tables[i][j].useful--
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Classification: a trained path signature confirmed by the current
+	// observation, or a cold-start streak of operand repeats.
+	if repeat {
+		s.streak++
+	} else {
+		s.streak = 0
+	}
+	s.spin = (pred && repeat) || s.streak >= t.cfg.ConfidenceThreshold
+
+	rec := uint16(uint32(pc)>>2) << 1
+	if repeat {
+		rec |= 1
+	}
+	s.push(rec)
+}
+
+// Spinning reports the predictor's current classification for the warp
+// in slot.
+func (t *TAGESIB) Spinning(slot int) bool { return t.slots[slot].spin }
+
+// OnBranch observes a taken backward branch at pc by the warp in slot
+// and updates the confirmation table exactly as DDOS does: spinning
+// warps build confidence, non-spinning warps decay it.
+func (t *TAGESIB) OnBranch(slot int, pc int32, isSIB bool, cycle int64) {
+	bt := t.branches[pc]
+	if bt == nil {
+		bt = &branchTrack{firstSeen: cycle, isSIB: isSIB}
+		t.branches[pc] = bt
+	}
+	bt.lastSeen = cycle
+	if t.slots[slot].spin {
+		t.table.Bump(pc, cycle)
+	} else {
+		t.table.Decay(pc)
+	}
+}
+
+// IsSIB reports whether pc is a confirmed spin-inducing branch.
+func (t *TAGESIB) IsSIB(pc int32) bool { return t.table.Confirmed(pc) }
+
+// Metrics computes the SM's detection metrics over all backward
+// branches it observed.
+func (t *TAGESIB) Metrics() DetectionMetrics {
+	return detectionFrom(t.branches, t.table)
+}
+
+// ConfirmedPCs returns every confirmed SIB PC (order unspecified).
+func (t *TAGESIB) ConfirmedPCs() []int32 { return t.table.ConfirmedPCs() }
+
+// TableLen returns the confirmation table's current entry count.
+func (t *TAGESIB) TableLen() int { return t.table.Len() }
+
+// TableSnapshot returns a PC-sorted copy of the confirmation table for
+// hang reports.
+func (t *TAGESIB) TableSnapshot() []SIBView { return t.table.Snapshot() }
+
+// RegisterMetrics registers the predictor's observability surface under
+// prefix (e.g. "sm0.tage."): the confirmation-table counters, the
+// predictor's allocation/decay/accuracy counters, and the same lazy
+// detection-quality gauges DDOS exposes.
+func (t *TAGESIB) RegisterMetrics(r *metrics.Registry, prefix string) {
+	t.table.RegisterMetrics(r, prefix+"sibpt.")
+	r.Int64(prefix+"allocations", &t.allocs)
+	r.Int64(prefix+"allocation_failures", &t.allocFails)
+	r.Int64(prefix+"useful_decays", &t.usefulDecays)
+	r.Int64(prefix+"predict_hits", &t.predHits)
+	r.Int64(prefix+"predict_misses", &t.predMisses)
+	r.Gauge(prefix+"branches_tracked", func() float64 { return float64(len(t.branches)) })
+	r.Gauge(prefix+"tsdr", func() float64 { m := t.Metrics(); return m.TSDR() })
+	r.Gauge(prefix+"fsdr", func() float64 { m := t.Metrics(); return m.FSDR() })
+}

@@ -48,7 +48,7 @@ func buildRecord(exp string, sp *runSpec, o runOut, wallMS float64) metrics.RunR
 		GPU:     sp.gpu.Name,
 		Sched:   string(sp.sched),
 		BOWS:    sp.bows.Desc(),
-		DDOS:    sp.ddos.Desc(),
+		DDOS:    detectorDesc(sp),
 		Variant: variantHash(sp),
 		WallMS:  wallMS,
 	}
@@ -69,8 +69,10 @@ func buildRecord(exp string, sp *runSpec, o runOut, wallMS float64) metrics.RunR
 		"backed_off_fraction": st.BackedOffFraction(),
 		"energy_total_pj":     energy.Compute(energy.ByConfigName(sp.gpu.Name), st).Total(),
 	}
-	// DDOS detection quality (Table I inputs). Counts only appear when the
-	// detector observed at least one backward branch, so records from
+	// Detection quality (Table I inputs), from whichever detector the
+	// spec selected; the counter family keeps its historical "ddos."
+	// names so every consumer joins one schema. Counts only appear when
+	// the detector observed at least one backward branch, so records from
 	// branch-free kernels stay compact; the DPR means only exist when a
 	// branch of that class was actually confirmed.
 	det := res.Detection
@@ -89,26 +91,57 @@ func buildRecord(exp string, sp *runSpec, o runOut, wallMS float64) metrics.RunR
 	return r
 }
 
+// detectorDesc renders the spec's detector descriptor for the record's
+// DDOS column (the manifest's detector-configuration join key): the
+// DDOS parameter descriptor for DDOS specs, the TAGE descriptor —
+// disjoint by construction — for TAGE specs. Reusing the column keeps
+// the manifest schema stable while the tagesib sensitivity table joins
+// both detector families on one key.
+func detectorDesc(sp *runSpec) string {
+	if sp.det == config.DetectTAGE {
+		return sp.tage.Desc()
+	}
+	return sp.ddos.Desc()
+}
+
 // variantHash fingerprints everything that can distinguish two runs
 // sharing a kernel/GPU/scheduler name: the full machine configuration
 // (fig16's queue-lock comparator differs only in Mem.QueueLocks), the
 // BOWS and DDOS parameter sets (table1 and the delay sweep vary these),
-// and the launch geometry and parameters (fig16 reuses kernel names
-// across bucket counts). Manifest.Add cross-checks records that still
-// collide, so a dimension missed here surfaces as an error, not a silent
-// overwrite.
+// the detector selection with its TAGE parameters and the WASP knobs
+// (the scheduler-zoo sweeps vary these), and the launch geometry and
+// parameters (fig16 reuses kernel names across bucket counts).
+// Manifest.Add cross-checks records that still collide, so a dimension
+// missed here surfaces as an error, not a silent overwrite.
+//
+// The zoo dimensions are omitted from the JSON when they are inactive
+// (empty detector kind, nil pointers), so every pre-existing variant
+// hash — including the committed golden and report manifests — is
+// byte-identical to what it was before the zoo existed.
 func variantHash(sp *runSpec) string {
+	var tage *config.TAGE
+	var det config.DetectorKind
+	if sp.det == config.DetectTAGE {
+		det, tage = sp.det, &sp.tage
+	}
+	var wasp *config.WaSP
+	if sp.sched == config.WASP {
+		wasp = &sp.wasp
+	}
 	return metrics.HashJSON(struct {
 		GPU      config.GPU
 		Sched    config.SchedulerKind
 		BOWS     config.BOWS
 		DDOS     config.DDOS
+		Detector config.DetectorKind `json:",omitempty"`
+		TAGE     *config.TAGE        `json:",omitempty"`
+		WaSP     *config.WaSP        `json:",omitempty"`
 		Kernel   string
 		Grid     int
 		Threads  int
 		MemWords int
 		Params   []uint32
-	}{sp.gpu, sp.sched, sp.bows, sp.ddos, sp.k.Name,
+	}{sp.gpu, sp.sched, sp.bows, sp.ddos, det, tage, wasp, sp.k.Name,
 		sp.k.Launch.GridCTAs, sp.k.Launch.CTAThreads, sp.k.Launch.MemWords,
 		sp.k.Launch.Params})
 }

@@ -151,7 +151,8 @@ func (c Cfg) run(sp *runSpec, tr sim.Tracer) (*sim.Result, error) {
 	} else if gpu.MaxCycles > expMaxCycles {
 		gpu.MaxCycles = expMaxCycles
 	}
-	opt := sim.Options{GPU: gpu, Sched: sp.sched, BOWS: sp.bows, DDOS: sp.ddos, Tracer: tr,
+	opt := sim.Options{GPU: gpu, Sched: sp.sched, BOWS: sp.bows, DDOS: sp.ddos,
+		Detector: sp.det, TAGE: sp.tage, WaSP: sp.wasp, Tracer: tr,
 		Faults: c.Faults, Shards: c.Shards, NoFastForward: c.NoFastForward,
 		Progress: sp.progress}
 	if c.Check {
@@ -193,10 +194,13 @@ type Experiment struct {
 
 // remoteUnsafe lists experiments whose analysis consumes engine outputs
 // beyond the service manifest (cycles plus aggregated counters): DDOS
-// detection-quality metrics (table1, fig14) and per-SM final delay
-// limits (delaysweep). Offloading them would silently zero those
-// columns, so cmd/experiments -remote runs them locally instead.
-var remoteUnsafe = map[string]bool{"table1": true, "fig14": true, "delaysweep": true}
+// detection-quality metrics (table1, fig14, tagesib) and per-SM final
+// delay limits (delaysweep). Offloading them would silently zero those
+// columns, so cmd/experiments -remote runs them locally instead. wasp
+// is listed because the wire format does not carry WASP knobs (the
+// runner additionally guards per spec, see runOne).
+var remoteUnsafe = map[string]bool{"table1": true, "fig14": true, "delaysweep": true,
+	"tagesib": true, "wasp": true}
 
 // RemoteSafe reports whether the experiment's analysis survives the
 // service wire format, i.e. whether Cfg.Remote may serve its runs.
@@ -215,6 +219,8 @@ func All() []Experiment {
 		{"fig15", "Fig. 15: performance and energy savings on Pascal (GTX1080Ti)", func(c Cfg) (fmt.Stringer, error) { return ExecEnergy(c, c.pascal(), "Fig. 15") }},
 		{"fig16", "Fig. 16: sensitivity to contention (hashtable buckets sweep)", func(c Cfg) (fmt.Stringer, error) { return Fig16(c) }},
 		{"ablation", "Ablation: BOWS component contributions (deprioritize / fixed delay / adaptive / static annotations)", func(c Cfg) (fmt.Stringer, error) { return Ablation(c) }},
+		{"wasp", "Scheduler zoo: WaSP priority-group scheduling vs GTO/CAWA (time and energy)", func(c Cfg) (fmt.Stringer, error) { return Wasp(c) }},
+		{"tagesib", "Scheduler zoo: TAGE-SIB vs DDOS detection accuracy (Table I grid)", func(c Cfg) (fmt.Stringer, error) { return TageSIB(c) }},
 		{"table2", "Table II: simulated configurations", func(c Cfg) (fmt.Stringer, error) { return Table2(c) }},
 		{"table3", "Table III: DDOS and BOWS implementation costs", func(c Cfg) (fmt.Stringer, error) { return Table3(c) }},
 	}

@@ -22,6 +22,16 @@ func goldenSpecs(c Cfg) []runSpec {
 				runSpec{gpu: gpu, sched: kind, bows: config.DefaultBOWS(), ddos: config.DefaultDDOS(), k: k})
 		}
 	}
+	// Scheduler-zoo variants pin WaSP scheduling and TAGE-SIB detection the
+	// same way; appended after the original sweep so the pre-existing record
+	// order — and every pre-existing variant hash — is untouched.
+	for _, k := range c.syncSuite() {
+		specs = append(specs,
+			runSpec{gpu: gpu, sched: config.WASP, bows: config.DefaultBOWS(),
+				ddos: config.DefaultDDOS(), wasp: config.DefaultWaSP(), k: k},
+			runSpec{gpu: gpu, sched: config.GTO, bows: config.DefaultBOWS(),
+				ddos: config.DefaultDDOS(), det: config.DetectTAGE, tage: config.DefaultTAGE(), k: k})
+	}
 	return specs
 }
 

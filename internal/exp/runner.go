@@ -16,15 +16,21 @@ import (
 )
 
 // runSpec is one fully-specified simulation: machine, scheduler, BOWS,
-// DDOS and kernel. Every experiment's sweep is a slice of these.
+// detector and kernel. Every experiment's sweep is a slice of these.
 // maxCycles and progress only carry values for specs submitted through
 // the exported Execute path (see service.go); experiment sweeps leave
-// them zero.
+// them zero. det selects the spin detector (empty means DDOS, matching
+// sim.Options); tage and wasp only carry values for TAGE-detector and
+// WASP-scheduler specs respectively, so the variant hashes of every
+// pre-existing spec are unchanged.
 type runSpec struct {
 	gpu       config.GPU
 	sched     config.SchedulerKind
 	bows      config.BOWS
 	ddos      config.DDOS
+	det       config.DetectorKind
+	tage      config.TAGE
+	wasp      config.WaSP
 	k         *kernels.Kernel
 	maxCycles int64
 	progress  *atomic.Int64
@@ -167,8 +173,12 @@ func (c Cfg) runOne(sp *runSpec, i, n int, progress chan<- string) runOut {
 	// wire format (see server.SpecRequest); anything else — and any
 	// daemon failure — falls through to the local engine below. Tracer
 	// and fault-injection runs always stay local: both reach inside the
-	// engine. Remote outcomes are never journaled (see Cfg.Remote).
-	if c.Remote != nil && c.Tracer == nil && c.Faults == nil {
+	// engine. So do specs with a non-default detector or WASP knobs —
+	// the wire format does not carry those dimensions, and a daemon
+	// would silently simulate the default machine instead. Remote
+	// outcomes are never journaled (see Cfg.Remote).
+	if c.Remote != nil && c.Tracer == nil && c.Faults == nil &&
+		sp.det == "" && sp.wasp == (config.WaSP{}) {
 		spec := Spec{GPU: sp.gpu, Sched: sp.sched, BOWS: sp.bows, DDOS: sp.ddos,
 			Kernel: sp.k, MaxCycles: sp.maxCycles, Progress: sp.progress}
 		if ro, ok := c.Remote(spec); ok {

@@ -51,9 +51,11 @@ func manifestBytes(t *testing.T, m *metrics.Manifest) []byte {
 
 // TestManifestByteIdenticalAcrossShards is the strongest determinism
 // claim the harness can make: modulo wall times, the serialized manifest
-// of the quick golden sweep is byte-for-byte identical across shard
-// counts and both clock implementations — config hash included, because
-// neither knob participates in variant hashing.
+// of the quick golden sweep — which since the scheduler zoo includes
+// WASP-scheduled and TAGE-detected variants — is byte-for-byte identical
+// across worker counts, shard counts and both clock implementations —
+// config hash included, because none of those knobs participates in
+// variant hashing.
 func TestManifestByteIdenticalAcrossShards(t *testing.T) {
 	base, err := GoldenManifest(Cfg{Quick: true, NoFastForward: true})
 	if err != nil {
@@ -62,11 +64,12 @@ func TestManifestByteIdenticalAcrossShards(t *testing.T) {
 	want := manifestBytes(t, base)
 	for _, c := range []Cfg{
 		{Quick: true},
+		{Quick: true, Jobs: 8},
 		{Quick: true, Shards: 2},
 		{Quick: true, Shards: 8},
-		{Quick: true, Shards: 8, NoFastForward: true},
+		{Quick: true, Jobs: 4, Shards: 8, NoFastForward: true},
 	} {
-		label := fmt.Sprintf("shards=%d noff=%v", c.Shards, c.NoFastForward)
+		label := fmt.Sprintf("jobs=%d shards=%d noff=%v", c.Jobs, c.Shards, c.NoFastForward)
 		m, err := GoldenManifest(c)
 		if err != nil {
 			t.Fatalf("%s: %v", label, err)

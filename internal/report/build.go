@@ -19,6 +19,10 @@ type Report struct {
 	Table1 *Table1Section
 	// Ablation is the BOWS component study.
 	Ablation *AblationSection
+	// Wasp is the scheduler-zoo head-to-head (WaSP vs GTO/CAWA).
+	Wasp *WaspSection
+	// TageSIB is the detector head-to-head (TAGE-SIB vs DDOS).
+	TageSIB *TageSIBSection
 }
 
 // Build joins the manifests and derives every report section present in

@@ -140,6 +140,47 @@ type Table1Row struct {
 	Precision, Recall float64
 }
 
+// WaspSection is the derived scheduler-zoo head-to-head: execution time
+// and dynamic energy under GTO, CAWA and WaSP with and without BOWS,
+// normalized to GTO.
+type WaspSection struct {
+	// GPU is the machine configuration name the sweep ran on.
+	GPU string
+	// Kernels lists the benchmarks, sorted.
+	Kernels []string
+	// Columns is exp.WaspColumns (GTO, GTO+BOWS, ..., WASP+BOWS).
+	Columns []string
+	// Time[kernel] and Energy[kernel] follow Columns, normalized to the
+	// kernel's GTO baseline.
+	Time   map[string][]Bar
+	Energy map[string][]Bar
+	// GmeanTime and GmeanEnergy are per-column geometric means.
+	GmeanTime   []float64
+	GmeanEnergy []float64
+	// TimeVsGTO and TimeVsCAWA are the geometric-mean time ratios
+	// baseline/WASP (>1 means WaSP is faster); BOWSSpeedup maps each
+	// scheduler name to the gmean speedup its +BOWS column buys.
+	TimeVsGTO, TimeVsCAWA float64
+	BOWSSpeedup           map[string]float64
+}
+
+// TageSIBSection is the derived detector head-to-head: DDOS anchors
+// versus the TAGE-SIB sensitivity grid, each row's detection quality
+// averaged or aggregated over the benchmark suite exactly as in Table I.
+type TageSIBSection struct {
+	// Rows are the grid points in exp.TageSIBLayout order; the Table1Row
+	// shape is reused because the columns are identical.
+	Rows []TageSIBRow
+}
+
+// TageSIBRow is one detector configuration of the head-to-head grid.
+type TageSIBRow struct {
+	Table1Row
+	// TAGE marks rows evaluating the TAGE-SIB detector (false = DDOS
+	// anchor rows).
+	TAGE bool
+}
+
 // AblationSection is the derived BOWS component study: normalized
 // execution time per arm, GTO = 1.
 type AblationSection struct {
@@ -173,6 +214,10 @@ func (r *Report) deriveAll() error {
 			r.Table1, err = deriveTable1(s)
 		case "ablation":
 			r.Ablation, err = deriveAblation(s)
+		case "wasp":
+			r.Wasp, err = deriveWasp(s)
+		case "tagesib":
+			r.TageSIB, err = deriveTageSIB(s)
 		default:
 			// Other experiments (fig1-3, fig16, tables 2-3) publish
 			// through their own harness output; the report has no
@@ -438,66 +483,147 @@ func deriveFig14(s *Set) (*Fig14Section, error) {
 
 func deriveTable1(s *Set) (*Table1Section, error) {
 	kernels := kernelsOf(s, "table1")
-	// Index the experiment's records by DDOS descriptor and kernel.
-	byCfg := map[string]map[string]*metrics.RunRecord{}
-	for _, rec := range s.Runs("table1") {
-		if byCfg[rec.DDOS] == nil {
-			byCfg[rec.DDOS] = map[string]*metrics.RunRecord{}
-		}
-		byCfg[rec.DDOS][rec.Kernel] = rec
-	}
-	rowOf := func(label, desc string) (Table1Row, error) {
-		recs := byCfg[desc]
-		row := Table1Row{Label: label}
-		var tsdrs, fsdrs, tdprs, fdprs []float64
-		var trueSeen, trueDet, falseDet int64
-		for _, k := range kernels {
-			rec := recs[k]
-			if rec == nil {
-				return row, &MissingRunError{Exp: "table1", Kernel: k,
-					Sched: string(config.GTO), BOWS: "off", DDOS: desc}
-			}
-			ts := rec.Counters["ddos.true_sibs_seen"]
-			td := rec.Counters["ddos.true_sibs_detected"]
-			fs := rec.Counters["ddos.false_sibs_seen"]
-			fd := rec.Counters["ddos.false_sibs_detected"]
-			trueSeen += ts
-			trueDet += td
-			falseDet += fd
-			if ts > 0 {
-				tsdrs = append(tsdrs, float64(td)/float64(ts))
-				if td > 0 {
-					tdprs = append(tdprs, rec.Derived["ddos_true_dpr"])
-				}
-			}
-			if fs > 0 {
-				fsdrs = append(fsdrs, float64(fd)/float64(fs))
-				if fd > 0 {
-					fdprs = append(fdprs, rec.Derived["ddos_false_dpr"])
-				}
-			}
-		}
-		row.TSDR, row.TrueDPR = mean(tsdrs), mean(tdprs)
-		row.FSDR, row.FalseDPR = mean(fsdrs), mean(fdprs)
-		if trueDet+falseDet > 0 {
-			row.Precision = float64(trueDet) / float64(trueDet+falseDet)
-		}
-		if trueSeen > 0 {
-			row.Recall = float64(trueDet) / float64(trueSeen)
-		}
-		return row, nil
-	}
+	byCfg := byDetector(s, "table1")
 	sec := &Table1Section{}
 	for _, block := range exp.Table1Layout() {
 		b := Table1Block{Name: block.Name}
 		for _, sp := range block.Specs {
-			row, err := rowOf(sp.Label, sp.DDOS.Desc())
+			row, err := detectionRow("table1", sp.Label, sp.DDOS.Desc(), kernels, byCfg)
 			if err != nil {
 				return nil, err
 			}
 			b.Rows = append(b.Rows, row)
 		}
 		sec.Blocks = append(sec.Blocks, b)
+	}
+	return sec, nil
+}
+
+// detectionRow aggregates one detector configuration's Table I columns
+// over the suite: per-kernel TSDR/FSDR and DPR means, plus aggregate
+// precision/recall from the raw confirmation counts. The counter family
+// keeps its historical "ddos." names for every detector (see
+// exp.buildRecord), so the same aggregation serves DDOS and TAGE rows.
+func detectionRow(tag, label, desc string, kernels []string, byCfg map[string]map[string]*metrics.RunRecord) (Table1Row, error) {
+	recs := byCfg[desc]
+	row := Table1Row{Label: label}
+	var tsdrs, fsdrs, tdprs, fdprs []float64
+	var trueSeen, trueDet, falseDet int64
+	for _, k := range kernels {
+		rec := recs[k]
+		if rec == nil {
+			return row, &MissingRunError{Exp: tag, Kernel: k,
+				Sched: string(config.GTO), BOWS: "off", DDOS: desc}
+		}
+		ts := rec.Counters["ddos.true_sibs_seen"]
+		td := rec.Counters["ddos.true_sibs_detected"]
+		fs := rec.Counters["ddos.false_sibs_seen"]
+		fd := rec.Counters["ddos.false_sibs_detected"]
+		trueSeen += ts
+		trueDet += td
+		falseDet += fd
+		if ts > 0 {
+			tsdrs = append(tsdrs, float64(td)/float64(ts))
+			if td > 0 {
+				tdprs = append(tdprs, rec.Derived["ddos_true_dpr"])
+			}
+		}
+		if fs > 0 {
+			fsdrs = append(fsdrs, float64(fd)/float64(fs))
+			if fd > 0 {
+				fdprs = append(fdprs, rec.Derived["ddos_false_dpr"])
+			}
+		}
+	}
+	row.TSDR, row.TrueDPR = mean(tsdrs), mean(tdprs)
+	row.FSDR, row.FalseDPR = mean(fsdrs), mean(fdprs)
+	if trueDet+falseDet > 0 {
+		row.Precision = float64(trueDet) / float64(trueDet+falseDet)
+	}
+	if trueSeen > 0 {
+		row.Recall = float64(trueDet) / float64(trueSeen)
+	}
+	return row, nil
+}
+
+// byDetector indexes an experiment's records by detector descriptor (the
+// record's DDOS column) and kernel.
+func byDetector(s *Set, tag string) map[string]map[string]*metrics.RunRecord {
+	byCfg := map[string]map[string]*metrics.RunRecord{}
+	for _, rec := range s.Runs(tag) {
+		if byCfg[rec.DDOS] == nil {
+			byCfg[rec.DDOS] = map[string]*metrics.RunRecord{}
+		}
+		byCfg[rec.DDOS][rec.Kernel] = rec
+	}
+	return byCfg
+}
+
+func deriveTageSIB(s *Set) (*TageSIBSection, error) {
+	kernels := kernelsOf(s, "tagesib")
+	byCfg := byDetector(s, "tagesib")
+	sec := &TageSIBSection{}
+	for _, sp := range exp.TageSIBLayout() {
+		row, err := detectionRow("tagesib", sp.Label, sp.Desc(), kernels, byCfg)
+		if err != nil {
+			return nil, err
+		}
+		sec.Rows = append(sec.Rows, TageSIBRow{Table1Row: row, TAGE: sp.Det == config.DetectTAGE})
+	}
+	return sec, nil
+}
+
+func deriveWasp(s *Set) (*WaspSection, error) {
+	sec := &WaspSection{
+		Kernels:     kernelsOf(s, "wasp"),
+		Columns:     exp.WaspColumns,
+		Time:        map[string][]Bar{},
+		Energy:      map[string][]Bar{},
+		BOWSSpeedup: map[string]float64{},
+	}
+	adaptive := config.DefaultBOWS().Desc()
+	gmT := make([][]float64, len(sec.Columns))
+	gmE := make([][]float64, len(sec.Columns))
+	for _, k := range sec.Kernels {
+		var times []Bar
+		var energies []Bar
+		for _, kind := range exp.WaspSchedulers {
+			for _, bows := range []string{"off", adaptive} {
+				rec, err := s.Find("wasp", k, string(kind), bows)
+				if err != nil {
+					return nil, err
+				}
+				if sec.GPU == "" {
+					sec.GPU = rec.GPU
+				}
+				b, err := barOf(rec)
+				if err != nil {
+					return nil, err
+				}
+				times = append(times, b)
+				energies = append(energies, Bar{Value: energyOf(rec).Total(), LowerBound: b.LowerBound})
+			}
+		}
+		// Normalize to GTO (column 0), matching exp.Wasp.
+		baseT, baseE := times[0].Value, energies[0].Value
+		for i := range times {
+			times[i].Value /= baseT
+			energies[i].Value /= baseE
+			gmT[i] = append(gmT[i], times[i].Value)
+			gmE[i] = append(gmE[i], energies[i].Value)
+		}
+		sec.Time[k] = times
+		sec.Energy[k] = energies
+	}
+	for i := range sec.Columns {
+		sec.GmeanTime = append(sec.GmeanTime, stats.Gmean(gmT[i]))
+		sec.GmeanEnergy = append(sec.GmeanEnergy, stats.Gmean(gmE[i]))
+	}
+	// Column layout: [GTO, GTO+BOWS, CAWA, CAWA+BOWS, WASP, WASP+BOWS].
+	sec.TimeVsGTO = ratioOrZero(sec.GmeanTime[0], sec.GmeanTime[4])
+	sec.TimeVsCAWA = ratioOrZero(sec.GmeanTime[2], sec.GmeanTime[4])
+	for i, kind := range exp.WaspSchedulers {
+		sec.BOWSSpeedup[string(kind)] = ratioOrZero(sec.GmeanTime[2*i], sec.GmeanTime[2*i+1])
 	}
 	return sec, nil
 }

@@ -272,6 +272,12 @@ func (r *Report) figures() map[string][]byte {
 		out["fig14.svg"] = groupedBars("fig14: detection-error overhead (GTO = 1)",
 			"normalized time", groups, []svgSeries{xor, mod})
 	}
+	if s := r.Wasp; s != nil {
+		out["wasp-time.svg"] = waspSVG(s, s.Time, s.GmeanTime,
+			fmt.Sprintf("WaSP head-to-head: execution time on %s (normalized to GTO)", s.GPU))
+		out["wasp-energy.svg"] = waspSVG(s, s.Energy, s.GmeanEnergy,
+			fmt.Sprintf("WaSP head-to-head: dynamic energy on %s (normalized to GTO)", s.GPU))
+	}
 	if s := r.Ablation; s != nil {
 		groups := append(append([]string{}, s.Kernels...), "gmean")
 		var series []svgSeries
@@ -287,6 +293,23 @@ func (r *Report) figures() map[string][]byte {
 			"normalized time", groups, series)
 	}
 	return out
+}
+
+// waspSVG renders one WaSP head-to-head panel: per-kernel groups plus a
+// gmean group, one hue per scheduler with the baseline member of each
+// baseline/+BOWS pair tinted (the Figure 9 treatment, anchored at GTO).
+func waspSVG(s *WaspSection, data map[string][]Bar, gmean []float64, title string) []byte {
+	groups := append(append([]string{}, s.Kernels...), "gmean")
+	var series []svgSeries
+	for ci, col := range s.Columns {
+		sv := svgSeries{label: col, slot: ci / 2, tint: ci%2 == 0}
+		for _, k := range s.Kernels {
+			sv.vals = append(sv.vals, data[k][ci])
+		}
+		sv.vals = append(sv.vals, Bar{Value: gmean[ci]})
+		series = append(series, sv)
+	}
+	return groupedBars(title, "normalized to GTO", groups, series)
 }
 
 // execEnergySVG renders one Figure 9/15 panel: per-kernel groups plus a

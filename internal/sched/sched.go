@@ -1,12 +1,16 @@
-// Package sched implements the baseline warp scheduling policies the
-// paper evaluates BOWS against: Loose Round-Robin (LRR), Greedy-Then-
-// Oldest (GTO, Rogers et al.) with the paper's periodic age rotation, and
-// Criticality-Aware Warp Acceleration (CAWA, Lee et al.).
+// Package sched is the warp scheduling policy surface: the baseline
+// policies the paper evaluates BOWS against — Loose Round-Robin (LRR),
+// Greedy-Then-Oldest (GTO, Rogers et al.) with the paper's periodic age
+// rotation, and Criticality-Aware Warp Acceleration (CAWA, Lee et al.)
+// — plus the prefetch-mimicking WaSP policy (Joseph et al., arXiv
+// 2404.06156) added by the scheduler-zoo extension.
 //
 // A Policy instance owns the warp slots of one scheduler unit within an
 // SM (warps are statically partitioned among schedulers). Each cycle the
 // SM pipeline calls Pick with a readiness predicate; the policy returns
 // the slot to issue from or -1. BOWS (internal/core) wraps any Policy.
+// docs/SCHEDULERS.md walks through the contract and how to add a new
+// policy end to end.
 package sched
 
 import (
@@ -61,19 +65,34 @@ type Instrumented interface {
 	RegisterMetrics(r *metrics.Registry, prefix string)
 }
 
-// New builds a baseline policy of the given kind for a scheduler unit
-// owning slots (SM-wide warp slot indexes). metrics is the SM-wide
-// per-slot metrics table. rotatePeriod applies to GTO age rotation.
-func New(kind config.SchedulerKind, slots []int, metrics []WarpMetrics, rotatePeriod int64) (Policy, error) {
+// Params carries the per-kind tuning knobs New threads to the policy it
+// builds. Kinds ignore knobs that do not concern them, so a caller may
+// always populate the whole struct.
+type Params struct {
+	// GTORotatePeriod is GTO's anti-livelock age rotation period in
+	// cycles (paper §IV-C).
+	GTORotatePeriod int64
+	// WaSP holds the WASP priority-group knobs.
+	WaSP config.WaSP
+}
+
+// New builds a policy of the given kind for a scheduler unit owning
+// slots (SM-wide warp slot indexes). metrics is the SM-wide per-slot
+// metrics table. An unknown kind yields an error enumerating the valid
+// kinds, which the CLIs surface as a usage error.
+func New(kind config.SchedulerKind, slots []int, metrics []WarpMetrics, p Params) (Policy, error) {
 	switch kind {
 	case config.LRR:
 		return NewLRR(slots), nil
 	case config.GTO:
-		return NewGTO(slots, rotatePeriod), nil
+		return NewGTO(slots, p.GTORotatePeriod), nil
 	case config.CAWA:
 		return NewCAWA(slots, metrics), nil
+	case config.WASP:
+		return NewWaSP(slots, p.WaSP), nil
 	default:
-		return nil, fmt.Errorf("sched: unknown scheduler kind %q", kind)
+		return nil, fmt.Errorf("sched: unknown scheduler kind %q (valid kinds: %v)",
+			kind, config.AllSchedulers)
 	}
 }
 
@@ -238,4 +257,98 @@ func (c *CAWA) OnBranch(slot int, backwardTaken bool) {
 	if backwardTaken {
 		c.metrics[slot].EstRemaining += LoopEstimate
 	}
+}
+
+// WaSP is the prefetch-mimicking priority-group policy (Joseph et al.,
+// arXiv 2404.06156): a small priority group of warps always outranks
+// the trailing warps, so the group runs ahead and its memory misses
+// warm the caches for the trailing group — a de-facto prefetcher with
+// no prefetch hardware. The priority window advances by GroupSize slots
+// every RotatePeriod cycles, so leadership (and the attendant extra
+// miss latency) rotates through the whole unit.
+//
+// The rotation is a pure function of the cycle number, like GTO's age
+// rotation: the policy carries no phase state, which keeps Pick
+// deterministic and makes the fast-forward clock trivially safe to skip
+// over it.
+type WaSP struct {
+	slots []int
+	cfg   config.WaSP
+	pos   map[int]int // slot -> index in slots
+	last  int         // last issued slot, -1 if none
+
+	// priorityPicks counts issues from the priority group, trailingPicks
+	// issues that fell through to the trailing group. Their ratio shows
+	// how strongly the group is actually leading.
+	priorityPicks int64
+	trailingPicks int64
+}
+
+// NewWaSP returns a WaSP policy over slots with the given group knobs.
+func NewWaSP(slots []int, cfg config.WaSP) *WaSP {
+	w := &WaSP{slots: slots, cfg: cfg, last: -1, pos: make(map[int]int, len(slots))}
+	for i, s := range slots {
+		w.pos[s] = i
+	}
+	return w
+}
+
+// Name implements Policy.
+func (w *WaSP) Name() string { return string(config.WASP) }
+
+// groupStart returns the priority window's first slot index for cycle.
+func (w *WaSP) groupStart(cycle int64) int {
+	g := w.groupSize()
+	phase := cycle / w.cfg.RotatePeriod
+	return int((phase * int64(g)) % int64(len(w.slots)))
+}
+
+// groupSize returns the effective priority-group size (clamped to the
+// unit width so a unit narrower than the knob still has a trailing-free
+// group rather than an out-of-range scan).
+func (w *WaSP) groupSize() int {
+	if g := w.cfg.GroupSize; g < len(w.slots) {
+		return g
+	}
+	return len(w.slots)
+}
+
+// Pick implements Policy: greedy on the last issued warp while it stays
+// in the priority group (long issue runs are what generate the group's
+// early misses), then the priority group in window order, then the
+// trailing warps in window order.
+func (w *WaSP) Pick(cycle int64, ready func(int) bool) int {
+	n := len(w.slots)
+	g := w.groupSize()
+	start := w.groupStart(cycle)
+	if w.last >= 0 && ready(w.last) {
+		if d := (w.pos[w.last] - start + n) % n; d < g {
+			w.priorityPicks++
+			return w.last
+		}
+	}
+	for i := 0; i < n; i++ {
+		s := w.slots[(start+i)%n]
+		if ready(s) {
+			if i < g {
+				w.priorityPicks++
+			} else {
+				w.trailingPicks++
+			}
+			return s
+		}
+	}
+	return -1
+}
+
+// OnIssue implements Policy.
+func (w *WaSP) OnIssue(slot int, _ int64) { w.last = slot }
+
+// OnBranch implements Policy.
+func (w *WaSP) OnBranch(int, bool) {}
+
+// RegisterMetrics implements Instrumented.
+func (w *WaSP) RegisterMetrics(r *metrics.Registry, prefix string) {
+	r.Int64(prefix+"wasp_priority_picks", &w.priorityPicks)
+	r.Int64(prefix+"wasp_trailing_picks", &w.trailingPicks)
 }

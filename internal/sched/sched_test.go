@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"strings"
 	"testing"
 
 	"warpsched/internal/config"
@@ -15,8 +16,16 @@ func readySet(slots ...int) func(int) bool {
 }
 
 func TestNewUnknownKind(t *testing.T) {
-	if _, err := New("BOGUS", []int{0}, nil, 0); err == nil {
+	_, err := New("BOGUS", []int{0}, nil, Params{})
+	if err == nil {
 		t.Fatal("unknown scheduler kind must error")
+	}
+	// The message must enumerate the valid kinds so CLIs can surface it
+	// as a usage error.
+	for _, kind := range config.AllSchedulers {
+		if !strings.Contains(err.Error(), string(kind)) {
+			t.Errorf("error %q does not mention valid kind %q", err, kind)
+		}
 	}
 }
 
@@ -141,13 +150,98 @@ func TestCPIAvgZeroIssued(t *testing.T) {
 
 func TestPolicyNames(t *testing.T) {
 	metrics := make([]WarpMetrics, 1)
-	for _, kind := range config.Schedulers {
-		p, err := New(kind, []int{0}, metrics, 100)
+	params := Params{GTORotatePeriod: 100, WaSP: config.DefaultWaSP()}
+	for _, kind := range config.AllSchedulers {
+		p, err := New(kind, []int{0}, metrics, params)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if p.Name() != string(kind) {
 			t.Errorf("policy name %q != kind %q", p.Name(), kind)
 		}
+	}
+}
+
+func TestWaSPPriorityGroupFirst(t *testing.T) {
+	// Group of 2 starting at slot 0 in phase 0: trailing warps issue
+	// only when the whole group is stalled.
+	w := NewWaSP([]int{0, 1, 2, 3}, config.WaSP{GroupSize: 2, RotatePeriod: 100})
+	if got := w.Pick(0, readySet(0, 1, 2, 3)); got != 0 {
+		t.Fatalf("pick = %d, want priority slot 0", got)
+	}
+	if got := w.Pick(0, readySet(1, 2, 3)); got != 1 {
+		t.Fatalf("pick = %d, want priority slot 1", got)
+	}
+	if got := w.Pick(0, readySet(2, 3)); got != 2 {
+		t.Fatalf("pick = %d, want trailing slot 2", got)
+	}
+	if got := w.Pick(0, readySet()); got != -1 {
+		t.Fatalf("no ready warps should give -1, got %d", got)
+	}
+}
+
+func TestWaSPGreedyWithinGroup(t *testing.T) {
+	w := NewWaSP([]int{0, 1, 2, 3}, config.WaSP{GroupSize: 2, RotatePeriod: 100})
+	w.OnIssue(1, 0)
+	// Greedy: last issued (1) preferred while it stays in the group,
+	// even over the lower-index group member 0.
+	if got := w.Pick(1, readySet(0, 1)); got != 1 {
+		t.Fatalf("greedy pick = %d, want 1", got)
+	}
+	// A trailing last-issued warp gets no greedy preference: slot 3
+	// issued last but slot 0 leads the group.
+	w.OnIssue(3, 2)
+	if got := w.Pick(3, readySet(0, 3)); got != 0 {
+		t.Fatalf("pick = %d, want priority slot 0 over trailing last 3", got)
+	}
+}
+
+func TestWaSPRotation(t *testing.T) {
+	// The window advances by GroupSize slots each period: phase 1 leads
+	// with slot 2, phase 2 wraps back to slot 0.
+	cases := []struct {
+		cycle int64
+		ready []int
+		want  int
+	}{
+		{cycle: 0, ready: []int{0, 1, 2, 3}, want: 0},
+		{cycle: 100, ready: []int{0, 1, 2, 3}, want: 2},
+		{cycle: 150, ready: []int{0, 1, 2}, want: 2},
+		{cycle: 150, ready: []int{0, 1}, want: 0}, // trailing order follows the window
+		{cycle: 200, ready: []int{0, 1, 2, 3}, want: 0},
+		{cycle: 300, ready: []int{1, 3}, want: 3},
+	}
+	for _, tc := range cases {
+		w := NewWaSP([]int{0, 1, 2, 3}, config.WaSP{GroupSize: 2, RotatePeriod: 100})
+		if got := w.Pick(tc.cycle, readySet(tc.ready...)); got != tc.want {
+			t.Errorf("cycle %d ready %v: pick = %d, want %d", tc.cycle, tc.ready, got, tc.want)
+		}
+	}
+}
+
+func TestWaSPGroupClampedToUnit(t *testing.T) {
+	// A unit narrower than the group knob degenerates to greedy over
+	// all slots, never an out-of-range scan.
+	w := NewWaSP([]int{4, 5}, config.WaSP{GroupSize: 8, RotatePeriod: 50})
+	if got := w.Pick(0, readySet(4, 5)); got != 4 {
+		t.Fatalf("pick = %d, want 4", got)
+	}
+	w.OnIssue(5, 0)
+	if got := w.Pick(1, readySet(4, 5)); got != 5 {
+		t.Fatalf("greedy pick = %d, want 5", got)
+	}
+	// Rotation stays stable when the group covers the whole unit.
+	if got := w.Pick(500, readySet(4)); got != 4 {
+		t.Fatalf("pick = %d, want 4", got)
+	}
+}
+
+func TestWaSPPickCounters(t *testing.T) {
+	w := NewWaSP([]int{0, 1, 2, 3}, config.WaSP{GroupSize: 2, RotatePeriod: 100})
+	w.Pick(0, readySet(0, 1, 2, 3)) // priority
+	w.Pick(0, readySet(3))          // trailing
+	if w.priorityPicks != 1 || w.trailingPicks != 1 {
+		t.Fatalf("picks = %d/%d, want 1 priority and 1 trailing",
+			w.priorityPicks, w.trailingPicks)
 	}
 }

@@ -44,6 +44,16 @@ type Options struct {
 	Sched config.SchedulerKind
 	BOWS  config.BOWS
 	DDOS  config.DDOS
+	// Detector selects the spin-detection mechanism (empty means
+	// config.DetectDDOS, the paper's hash-based detector); BOWS in ddos
+	// mode consumes whichever detector is instantiated.
+	Detector config.DetectorKind
+	// TAGE parameterizes the TAGE-SIB predictor when Detector is
+	// config.DetectTAGE (a zero value means config.DefaultTAGE()).
+	TAGE config.TAGE
+	// WaSP parameterizes the WASP priority-group policy when Sched is
+	// config.WASP (a zero value means config.DefaultWaSP()).
+	WaSP config.WaSP
 	// Profile enables per-PC issue counting (Result.PCProfile), the
 	// instruction heatmap behind `warpsim -profile`.
 	Profile bool
@@ -147,8 +157,9 @@ type Result struct {
 	// Stats aggregates all SMs; PerSM holds the per-SM breakdown.
 	Stats stats.Sim
 	PerSM []stats.Sim
-	// Detection aggregates DDOS quality over SMs (zero when DDOS is not
-	// instantiated); PerSMDetection is the per-SM view.
+	// Detection aggregates spin-detection quality (from whichever
+	// detector Options.Detector selected) over SMs; PerSMDetection is
+	// the per-SM view.
 	Detection      core.DetectionMetrics
 	PerSMDetection []core.DetectionMetrics
 	// ConfirmedSIBs is the union of confirmed SIB PCs across SMs.
@@ -221,7 +232,7 @@ type smState struct {
 	wbPending int
 	units     []*smUnit
 
-	ddos *core.DDOS
+	det  core.Detector
 	bows *core.BOWS
 
 	ctas      []*ctaRec
@@ -369,8 +380,35 @@ func New(opt Options, launch Launch) (*Engine, error) {
 	if err := opt.BOWS.Validate(); err != nil {
 		return nil, err
 	}
-	if err := opt.DDOS.Validate(); err != nil {
-		return nil, err
+	// Detector and WASP knobs default in place so pre-existing callers
+	// (zero Detector, zero TAGE/WaSP) build exactly the machine they
+	// always did.
+	if opt.Detector == "" {
+		opt.Detector = config.DetectDDOS
+	}
+	switch opt.Detector {
+	case config.DetectDDOS:
+		if err := opt.DDOS.Validate(); err != nil {
+			return nil, err
+		}
+	case config.DetectTAGE:
+		if opt.TAGE == (config.TAGE{}) {
+			opt.TAGE = config.DefaultTAGE()
+		}
+		if err := opt.TAGE.Validate(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("sim: unknown detector kind %q (valid kinds: %v)",
+			opt.Detector, config.Detectors)
+	}
+	if opt.Sched == config.WASP {
+		if opt.WaSP == (config.WaSP{}) {
+			opt.WaSP = config.DefaultWaSP()
+		}
+		if err := opt.WaSP.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	if launch.Prog == nil {
 		return nil, fmt.Errorf("sim: launch has no program")
@@ -401,8 +439,15 @@ func New(opt Options, launch Launch) (*Engine, error) {
 		launch.Setup(e.sys.Words())
 	}
 
-	// DDOS runs in every configuration (it is observation-only unless
-	// BOWS consumes it), so detection metrics are always available.
+	// The selected detector runs in every configuration (it is
+	// observation-only unless BOWS consumes it), so detection metrics
+	// are always available.
+	newDetector := func() core.Detector {
+		if opt.Detector == config.DetectTAGE {
+			return core.NewTAGESIB(opt.TAGE, opt.GPU.WarpsPerSM)
+		}
+		return core.NewDDOS(opt.DDOS, opt.GPU.WarpsPerSM)
+	}
 	slotsPer := opt.GPU.WarpsPerSM / opt.GPU.SchedulersPerSM
 	for id := 0; id < opt.GPU.NumSMs; id++ {
 		m := &smState{
@@ -414,13 +459,13 @@ func New(opt Options, launch Launch) (*Engine, error) {
 			predPend:        make([]uint64, opt.GPU.WarpsPerSM),
 			wbRing:          make([][]wbItem, opt.GPU.ALULat+1),
 			issuedThisCycle: make([]bool, opt.GPU.WarpsPerSM),
-			ddos:            core.NewDDOS(opt.DDOS, opt.GPU.WarpsPerSM),
+			det:             newDetector(),
 			port:            e.sys.Port(id),
 		}
 		m.readyFn = m.ready
 		m.doneFn = m.memDone
 		if opt.BOWS.Mode != config.BOWSOff {
-			m.bows = core.NewBOWS(opt.BOWS, m.ddos, opt.GPU.WarpsPerSM)
+			m.bows = core.NewBOWS(opt.BOWS, m.det, opt.GPU.WarpsPerSM)
 		}
 		if opt.Profile {
 			m.pcCounts = make([]int64, launch.Prog.Len())
@@ -430,7 +475,8 @@ func New(opt Options, launch Launch) (*Engine, error) {
 			for i := range slots {
 				slots[i] = u*slotsPer + i
 			}
-			base, err := sched.New(opt.Sched, slots, m.metrics, opt.GPU.GTORotatePeriod)
+			base, err := sched.New(opt.Sched, slots, m.metrics,
+				sched.Params{GTORotatePeriod: opt.GPU.GTORotatePeriod, WaSP: opt.WaSP})
 			if err != nil {
 				return nil, err
 			}
@@ -486,7 +532,14 @@ func (e *Engine) registerMetrics() {
 		r.Int64(p+"sync.wait_exit_fail", &st.Sync.WaitExitFail)
 		r.Int64(p+"sync.lock_release", &st.Sync.LockRelease)
 		e.sys.RegisterMetrics(r, m.id, p+"mem.")
-		m.ddos.RegisterMetrics(r, p+"ddos.")
+		// The detector's registry prefix follows its kind, so manifests
+		// name DDOS counters "ddos.*" (their historical names) and TAGE
+		// counters "tage.*".
+		dp := p + "ddos."
+		if e.opt.Detector == config.DetectTAGE {
+			dp = p + "tage."
+		}
+		m.det.RegisterMetrics(r, dp)
 		if m.bows != nil {
 			m.bows.RegisterMetrics(r, p+"bows.")
 		}
@@ -742,7 +795,7 @@ func (m *smState) tickOrSkip(cycle int64) {
 // warp's back-off expiry, the BOWS adaptive window close, or the DDOS
 // time-share epoch rotation.
 func (m *smState) sleep(cycle int64) {
-	wake := m.ddos.NextEpochBoundary()
+	wake := m.det.NextEpochBoundary()
 	if m.bows != nil {
 		if b := m.bows.NextWindowBoundary(); b < wake {
 			wake = b
@@ -888,7 +941,7 @@ func (m *smState) tick(cycle int64) {
 	*ring = (*ring)[:0]
 
 	// 2. Detector / controller ticks.
-	m.ddos.Tick(cycle)
+	m.det.Tick(cycle)
 	if m.bows != nil {
 		m.bows.Tick(cycle)
 	}
@@ -925,7 +978,7 @@ func (m *smState) tick(cycle int64) {
 			m.st.BackedOffSum++
 		}
 	}
-	if n := m.ddos.Table().Len(); n > m.maxSIBPT {
+	if n := m.det.TableLen(); n > m.maxSIBPT {
 		m.maxSIBPT = n
 	}
 	if m.wbHead++; m.wbHead == len(m.wbRing) {
@@ -976,7 +1029,7 @@ func (m *smState) issue(u *smUnit, slot int, cycle int64) {
 	case res.IsBranch:
 		u.policy.OnBranch(slot, res.BackwardTaken)
 		if res.BackwardTaken {
-			m.ddos.OnBranch(slot, res.PC, in.HasAnn(isa.AnnSIB), cycle)
+			m.det.OnBranch(slot, res.PC, in.HasAnn(isa.AnnSIB), cycle)
 			if in.HasAnn(isa.AnnSIB) {
 				m.st.SIBInstrs++
 			}
@@ -997,7 +1050,7 @@ func (m *smState) issue(u *smUnit, slot int, cycle int64) {
 			m.st.Sync.WaitExitSuccess += int64(bits.OnesCount32(res.NotTaken))
 		}
 	case res.IsSetp:
-		m.ddos.OnSetp(slot, res.PC, res.SetpLane, res.SetpV1, res.SetpV2)
+		m.det.OnSetp(slot, res.PC, res.SetpLane, res.SetpV1, res.SetpV2)
 		m.predPend[slot] |= 1 << uint(in.PDst)
 		m.pushWB(slot, true, uint8(in.PDst))
 	case in.Op == isa.OpMembar:
@@ -1121,12 +1174,12 @@ func (e *Engine) result() *Result {
 		if m.bows != nil {
 			r.FinalDelayLimits = append(r.FinalDelayLimits, m.bows.DelayLimit())
 		}
-		det := m.ddos.Metrics()
+		det := m.det.Metrics()
 		r.PerSM = append(r.PerSM, m.st)
 		r.PerSMDetection = append(r.PerSMDetection, det)
 		r.Detection.Add(det)
 		r.Stats.Add(&m.st)
-		for _, pc := range m.ddos.Table().ConfirmedPCs() {
+		for _, pc := range m.det.ConfirmedPCs() {
 			if _, ok := seen[pc]; !ok {
 				seen[pc] = struct{}{}
 				r.ConfirmedSIBs = append(r.ConfirmedSIBs, pc)

@@ -367,7 +367,7 @@ func (e *Engine) buildHangReport(hm *hangMonitor, class HangClass) *HangReport {
 
 	for i, m := range e.sms {
 		r.MSHRLines = append(r.MSHRLines, m.port.MSHRLines())
-		if snap := m.ddos.Table().Snapshot(); len(snap) > 0 {
+		if snap := m.det.TableSnapshot(); len(snap) > 0 {
 			r.SIBPT = append(r.SIBPT, SMSIBPT{SM: i, Entries: snap})
 		}
 		for slot, w := range m.warps {
@@ -380,7 +380,7 @@ func (e *Engine) buildHangReport(hm *hangMonitor, class HangClass) *HangReport {
 				PC:             w.PC(),
 				AtBarrier:      w.AtBarrier,
 				BackedOff:      m.bows != nil && m.bows.BackedOff(slot),
-				Spinning:       m.ddos.Spinning(slot),
+				Spinning:       m.det.Spinning(slot),
 				OutstandingMem: m.port.Outstanding(slot),
 			}
 			if hm != nil {

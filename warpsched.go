@@ -45,6 +45,13 @@ type (
 	DDOSConfig = config.DDOS
 	// SchedulerKind names a baseline warp scheduling policy.
 	SchedulerKind = config.SchedulerKind
+	// DetectorKind names a spin-detector implementation (Options.Detector).
+	DetectorKind = config.DetectorKind
+	// TAGEConfig holds TAGE-SIB spin-predictor parameters (Options.TAGE).
+	TAGEConfig = config.TAGE
+	// WaSPConfig holds WaSP priority-group scheduling parameters
+	// (Options.WaSP).
+	WaSPConfig = config.WaSP
 	// Options selects hardware configuration and policies for a run.
 	Options = sim.Options
 	// Result is a completed simulation's statistics bundle.
@@ -89,11 +96,21 @@ func DefaultFaults(seed uint64) FaultConfig { return mem.DefaultFaults(seed) }
 // events; attach it via Options.Tracer.
 func NewTraceRing(n int) *TraceRing { return trace.NewRing(n) }
 
-// Baseline scheduler kinds.
+// Scheduler kinds: the paper's three baselines plus the WaSP
+// priority-group policy (see docs/SCHEDULERS.md).
 const (
 	LRR  = config.LRR
 	GTO  = config.GTO
 	CAWA = config.CAWA
+	WASP = config.WASP
+)
+
+// Spin-detector kinds (Options.Detector; empty selects DDOS).
+const (
+	// DetectDDOS selects the paper's value-history detector.
+	DetectDDOS = config.DetectDDOS
+	// DetectTAGE selects the TAGE-SIB tagged-geometric-history predictor.
+	DetectTAGE = config.DetectTAGE
 )
 
 // BOWS trigger modes.
@@ -122,6 +139,14 @@ func FixedBOWS(limit int64) BOWSConfig { return config.FixedBOWS(limit) }
 // DefaultDDOS returns the paper's DDOS evaluation parameters
 // (XOR hashing, m=k=8, l=8, t=4).
 func DefaultDDOS() DDOSConfig { return config.DefaultDDOS() }
+
+// DefaultTAGE returns the default TAGE-SIB predictor geometry (4 tagged
+// tables, history lengths 4..32, 6-bit indices, 8-bit tags).
+func DefaultTAGE() TAGEConfig { return config.DefaultTAGE() }
+
+// DefaultWaSP returns the default WaSP knobs (priority group of 4,
+// rotation every 20000 cycles).
+func DefaultWaSP() WaSPConfig { return config.DefaultWaSP() }
 
 // DefaultOptions returns GTX480 + GTO with BOWS off.
 func DefaultOptions() Options { return sim.DefaultOptions() }
